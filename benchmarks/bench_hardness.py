@@ -1,0 +1,139 @@
+"""Benchmarks for the paper's lower bounds (hardness reductions).
+
+Each benchmark times one reduction *pipeline* — build the target instance
+and decide it — and asserts agreement with the source problem decided by
+a trusted solver.  These are the executable form of the paper's hardness
+proofs: Π₂ᵖ-hardness of literal inference (Theorem 3.1 family), Σ₂ᵖ-
+hardness of DSM/PDSM/PERF model existence (Section 5), NP-hardness of
+model existence with ICs, coNP-hardness of DDR/PWS inference (Chan), and
+the UMINSAT results (Prop. 5.4 / Lemma 5.5).
+
+Run with::
+
+    pytest benchmarks/bench_hardness.py --benchmark-only
+"""
+
+import pytest
+
+from repro.complexity.reductions import (
+    cnf_to_database,
+    has_unique_minimal_model,
+    qbf_to_dsm_existence,
+    qbf_to_minimal_entailment,
+    qbf_to_pdsm_existence,
+    qbf_to_perf_existence,
+    unsat_to_ddr_formula,
+    unsat_to_ddr_literal,
+    unsat_to_nlp_unique_minimal,
+    unsat_to_uminsat,
+)
+from repro.qbf.solver import solve_qbf2_cegar
+from repro.sat.solver import is_satisfiable
+from repro.semantics import get_semantics
+from repro.workloads import random_cnf, random_qbf2
+
+QBF = random_qbf2(2, 2, num_terms=3, width=3, seed=3)
+QBF_VALID = solve_qbf2_cegar(QBF).valid
+CNF = random_cnf(4, 9, seed=5)
+CNF_SAT = is_satisfiable(CNF)
+
+
+def test_qbf_to_minimal_entailment(benchmark):
+    """Theorem 3.1 family: QBF validity == GCWA does NOT infer ¬w."""
+
+    def pipeline():
+        instance = qbf_to_minimal_entailment(QBF)
+        return not get_semantics("gcwa").infers_literal(
+            instance.db, instance.query_literal
+        )
+
+    assert pipeline() == QBF_VALID
+    benchmark(pipeline)
+
+
+def test_qbf_to_dsm_existence(benchmark):
+    """Σ₂ᵖ-hardness of DSM model existence (no integrity clauses)."""
+
+    def pipeline():
+        return get_semantics("dsm").has_model(qbf_to_dsm_existence(QBF).db)
+
+    assert pipeline() == QBF_VALID
+    benchmark(pipeline)
+
+
+def test_qbf_to_pdsm_existence(benchmark):
+    """Σ₂ᵖ-hardness of PDSM model existence."""
+
+    def pipeline():
+        return get_semantics("pdsm").has_model(
+            qbf_to_pdsm_existence(QBF).db
+        )
+
+    assert pipeline() == QBF_VALID
+    benchmark(pipeline)
+
+
+def test_qbf_to_perf_existence(benchmark):
+    """Σ₂ᵖ-hardness of PERF model existence."""
+
+    def pipeline():
+        return get_semantics("perf").has_model(
+            qbf_to_perf_existence(QBF).db
+        )
+
+    assert pipeline() == QBF_VALID
+    benchmark(pipeline)
+
+
+def test_sat_to_egcwa_existence(benchmark):
+    """NP-hardness of EGCWA model existence with integrity clauses."""
+
+    def pipeline():
+        return get_semantics("egcwa").has_model(cnf_to_database(CNF))
+
+    assert pipeline() == CNF_SAT
+    benchmark(pipeline)
+
+
+def test_unsat_to_ddr_formula(benchmark):
+    """coNP-hardness of DDR formula inference (no ICs)."""
+
+    def pipeline():
+        instance = unsat_to_ddr_formula(CNF)
+        return get_semantics("ddr").infers(instance.db, instance.formula)
+
+    assert pipeline() == (not CNF_SAT)
+    benchmark(pipeline)
+
+
+def test_unsat_to_pws_literal(benchmark):
+    """coNP-hardness of PWS literal inference (with ICs)."""
+
+    def pipeline():
+        instance = unsat_to_ddr_literal(CNF)
+        return get_semantics("pws").infers_literal(
+            instance.db, instance.literal
+        )
+
+    assert pipeline() == (not CNF_SAT)
+    benchmark(pipeline)
+
+
+def test_uminsat(benchmark):
+    """Prop. 5.4: UNSAT reduces to unique-minimal-model."""
+
+    def pipeline():
+        return has_unique_minimal_model(unsat_to_uminsat(CNF))
+
+    assert pipeline() == (not CNF_SAT)
+    benchmark(pipeline)
+
+
+def test_uminsat_lemma55(benchmark):
+    """Lemma 5.5: the same through a *normal* logic program."""
+
+    def pipeline():
+        return has_unique_minimal_model(unsat_to_nlp_unique_minimal(CNF))
+
+    assert pipeline() == (not CNF_SAT)
+    benchmark(pipeline)

@@ -1,0 +1,85 @@
+"""Stratified negation: PERF, ICWA and DSM on a combinatorial game.
+
+The classic win/move database: a position is *won* when some move leads
+to a position that is not won.  On an acyclic move graph the database is
+stratified, and the paper's "stratified" semantics — the Perfect Models
+Semantics and the Iterated CWA — single out the intended model, which is
+also the unique disjunctive stable model.
+
+On a cyclic move graph stratification fails: PERF has no model, ICWA
+refuses the database, and DSM's answers depend on the cycle's parity —
+exactly the landscape Sections 4 and 5 of the paper map out.
+
+Run with::
+
+    python examples/game_stratified.py
+"""
+
+from repro import parse_database
+from repro.errors import NotStratifiedError
+from repro.semantics import get_semantics
+from repro.semantics.stratification import stratify
+
+
+def path_game(length: int):
+    """Positions 1..length in a line; you may move right by one."""
+    clauses = [
+        f"win{i} :- not win{i+1}." for i in range(1, length)
+    ]
+    text = "\n".join(clauses)
+    db = parse_database(text)
+    return db.with_vocabulary([f"win{i}" for i in range(1, length + 1)])
+
+
+def cycle_game(length: int):
+    """Positions on a cycle: move to the next position (mod length)."""
+    clauses = [
+        f"win{i} :- not win{(i % length) + 1}." for i in range(1, length + 1)
+    ]
+    return parse_database("\n".join(clauses))
+
+
+def main() -> None:
+    print("=== Acyclic game (path of 5 positions) ===")
+    db = path_game(5)
+    print(db)
+    print()
+
+    stratification = stratify(db)
+    print("Stratification (lowest first):")
+    for index, stratum in enumerate(stratification.strata, start=1):
+        print(f"  S{index}: {sorted(stratum)}")
+    print()
+
+    for name in ("perf", "icwa", "dsm"):
+        models = sorted(get_semantics(name).model_set(db), key=str)
+        print(f"{name.upper():4s} models:",
+              ", ".join(str(m) for m in models))
+    # Losing positions are exactly the even ones from the end.
+    perf = get_semantics("perf")
+    print()
+    for i in range(1, 6):
+        won = perf.infers_literal(db, f"win{i}")
+        lost = perf.infers_literal(db, f"not win{i}")
+        status = "WON" if won else ("LOST" if lost else "unknown")
+        print(f"  position {i}: {status}")
+
+    print()
+    print("=== Cyclic games ===")
+    for length in (2, 3):
+        db = cycle_game(length)
+        print(f"cycle of {length}:")
+        try:
+            get_semantics("icwa").model_set(db)
+        except NotStratifiedError as error:
+            print("  ICWA:", error)
+        perf_models = get_semantics("perf").model_set(db)
+        print("  PERF models:", sorted(map(str, perf_models)) or "none")
+        dsm_models = get_semantics("dsm").model_set(db)
+        print("  DSM  models:", sorted(map(str, dsm_models)) or "none")
+        pdsm_models = get_semantics("pdsm").model_set(db)
+        print("  PDSM models:", sorted(map(str, pdsm_models)) or "none")
+
+
+if __name__ == "__main__":
+    main()

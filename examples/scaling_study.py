@@ -1,0 +1,35 @@
+"""Scaling study: the tables' separation as growth curves.
+
+The paper has no figures — the complexity classes *are* its plot.  This
+script produces the figure it implies: runtime and oracle-call counts of
+one cell per complexity class, swept over instance size on the
+exclusive-pairs family ``x_i | y_i`` (2^n minimal models at size n).
+
+Run with::
+
+    python examples/scaling_study.py [max_size]
+"""
+
+import sys
+
+from repro.tables.scaling import render_rows, run_scaling_study
+
+
+def main() -> None:
+    max_size = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    rows = run_scaling_study(2, max_size)
+    print("cells: DDR ¬x1 (P) | DDR formula (coNP) | EGCWA formula (Π2) "
+          "| GCWA formula (Θ machine vs naive)")
+    print(render_rows(rows))
+    print()
+    if all(row.shape_ok() for row in rows):
+        print("All oracle profiles match the claimed classes:")
+    print("the P cell never calls the oracle; the coNP cell spends")
+    print("exactly one call at every size; the Π2 cell's usage tracks")
+    print("the doubling minimal-model space; and the Θ machine's Σ2-call")
+    print("count grows logarithmically while the naive algorithm's grows")
+    print("linearly (= 2n).")
+
+
+if __name__ == "__main__":
+    main()

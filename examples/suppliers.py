@@ -1,0 +1,96 @@
+"""Indefinite information in a deductive database — the PODS framing.
+
+The paper's motivating setting is a *database* holding indefinite facts:
+we may know a part was shipped by supplier s1 **or** s2 without knowing
+which.  Query answering then depends on the closed-world semantics:
+
+* classical entailment answers only what is certain in *every* model;
+* GCWA/EGCWA close the world over minimal models ("a supplier not
+  mentioned shipped nothing");
+* DDR/WGCWA close it more cautiously (disjunctive possibilities stay
+  open);
+* brave queries ask what is *possible*.
+
+Run with::
+
+    python examples/suppliers.py
+"""
+
+from repro import DatabaseSession, parse_database
+from repro.semantics.explain import explain_closure_literal
+from repro.semantics.state import disjunctive_state
+
+
+def main() -> None:
+    db = parse_database(
+        """
+        % Certain shipments.
+        shipped(s1, bolts).
+        % Indefinite: the nuts came from s2 or s3 (records lost).
+        shipped(s2, nuts) | shipped(s3, nuts).
+        % s3 is a premium supplier: anything it ships gets inspected.
+        inspected(nuts) :- shipped(s3, nuts).
+        % Nobody recorded any washers.
+        ordered(washers) :- shipped(s1, washers).
+        """
+    )
+    print("Database:")
+    print(db)
+    print()
+
+    session = DatabaseSession(db, default_semantics="egcwa")
+
+    print("Certain answers (classical / all semantics agree):")
+    print("  s1 shipped bolts:", session.ask("shipped(s1, bolts)").verdict)
+    print("  someone shipped nuts:",
+          session.ask("shipped(s2, nuts) | shipped(s3, nuts)").verdict)
+    print()
+
+    print("Closed-world answers (negative information):")
+    for semantics in ("ddr", "gcwa", "egcwa"):
+        answer = session.ask_literal(
+            "not shipped(s1, washers)", semantics=semantics
+        )
+        print(f"  {semantics.upper():5s} infers 'no washers from s1':",
+              answer.verdict)
+    print()
+
+    print("The indefinite nuts shipment keeps both candidates open:")
+    for supplier in ("s2", "s3"):
+        cautious = session.ask_literal(f"shipped({supplier}, nuts)")
+        brave = session.ask(f"shipped({supplier}, nuts)", mode="brave")
+        print(f"  {supplier}: certain={cautious.verdict}  "
+              f"possible={brave.verdict}")
+    print()
+
+    print("But EGCWA knows they are exclusive alternatives:")
+    answer = session.ask(
+        "~shipped(s2, nuts) | ~shipped(s3, nuts)"
+    )
+    print("  'not both shipped the nuts':", answer.verdict)
+    print("  (GCWA cannot tell:",
+          session.ask("~shipped(s2, nuts) | ~shipped(s3, nuts)",
+                      semantics="gcwa").verdict, ")")
+    print()
+
+    print("Inspection depends on the unknown supplier — brave only:")
+    cautious = session.ask("inspected(nuts)")
+    brave = session.ask("inspected(nuts)", mode="brave")
+    print(f"  inspected(nuts): certain={cautious.verdict}  "
+          f"possible={brave.verdict}")
+    if cautious.certificate is not None:
+        print("  counter-model:", cautious.certificate.model)
+    print()
+
+    print("Why is 'shipped(s3, nuts)' not closed off?")
+    explanation = explain_closure_literal(db, "shipped(s3, nuts)")
+    print(" ", explanation.render())
+    print()
+
+    print("Derivable disjunctions (the database's indefinite content):")
+    for disjunction in sorted(disjunctive_state(db), key=sorted):
+        print("  ", " | ".join(sorted(disjunction)))
+
+
+if __name__ == "__main__":
+    main()

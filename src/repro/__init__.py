@@ -1,0 +1,71 @@
+"""repro — reproduction of Eiter & Gottlob (PODS 1993),
+"Complexity Aspects of Various Semantics for Disjunctive Databases".
+
+The package implements propositional disjunctive databases, the ten
+semantics studied by the paper (GCWA, CCWA, EGCWA, ECWA/CIRC, DDR/WGCWA,
+PWS/PMS, PERF, ICWA, DSM, PDSM), the three decision problems (literal
+inference, formula inference, model existence), the oracle machinery that
+realizes the paper's upper bounds, and the hardness reductions behind its
+lower bounds.  See DESIGN.md for the architecture and EXPERIMENTS.md for
+the reproduction of Tables 1 and 2.
+
+Quickstart::
+
+    from repro import parse_database, parse_formula, infer
+
+    db = parse_database("a | b. c :- a.")
+    assert infer(db, parse_formula("~a | ~b"), semantics="egcwa")
+    assert not infer(db, parse_formula("~a | ~b"), semantics="gcwa")
+"""
+
+__version__ = "1.0.0"
+
+from .logic import (
+    Clause,
+    DisjunctiveDatabase,
+    Formula,
+    Interpretation,
+    Literal,
+    ThreeValuedInterpretation,
+    Var,
+    database,
+    interp,
+    parse_clause,
+    parse_database,
+    parse_formula,
+)
+
+__all__ = [
+    "__version__",
+    "Clause",
+    "DisjunctiveDatabase",
+    "Formula",
+    "Interpretation",
+    "Literal",
+    "ThreeValuedInterpretation",
+    "Var",
+    "database",
+    "interp",
+    "parse_clause",
+    "parse_database",
+    "parse_formula",
+    # populated below
+    "SEMANTICS",
+    "get_semantics",
+    "infer",
+    "infers_literal",
+    "has_model",
+    "model_set",
+    "Answer",
+    "DatabaseSession",
+]
+
+from .semantics import (  # noqa: E402  (re-export after logic)
+    SEMANTICS,
+    get_semantics,
+    has_model,
+    infer,
+    infers_literal,
+    model_set,
+)
+from .session import Answer, DatabaseSession  # noqa: E402

@@ -1,0 +1,290 @@
+"""Command-line interface: ``repro-ddb`` / ``python -m repro``.
+
+Subcommands:
+
+* ``models FILE --semantics S`` — print the models a semantics selects;
+* ``infer FILE --query F --semantics S`` — decide formula inference;
+* ``solve FILE`` — classical satisfiability / one model;
+* ``stratify FILE`` — show the canonical stratification;
+* ``closure FILE`` — the GCWA / WGCWA / EGCWA closure objects;
+* ``ground FILE`` — ground a non-ground (variable) program;
+* ``tables [--evidence]`` — regenerate the paper's Tables 1 and 2.
+
+``FILE`` is a database in the surface syntax (``-`` for stdin).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .errors import ReproError
+from .logic.parser import parse_database, parse_formula
+from .semantics import SEMANTICS, get_semantics, resolve_name
+from .semantics.stratification import stratify
+
+
+def _read_database(path: str):
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            text = handle.read()
+    return parse_database(text)
+
+
+def _semantics_kwargs(args) -> dict:
+    kwargs = {"engine": args.engine}
+    if getattr(args, "p", None) is not None:
+        kwargs["p"] = [a for a in args.p.split(",") if a]
+    if getattr(args, "z", None):
+        kwargs["z"] = [a for a in args.z.split(",") if a]
+    # Partition kwargs only exist on partitioned semantics.
+    name = resolve_name(args.semantics)
+    if name not in ("ccwa", "ecwa", "circ", "icwa"):
+        kwargs.pop("p", None)
+        kwargs.pop("z", None)
+    return kwargs
+
+
+def _cmd_models(args) -> int:
+    db = _read_database(args.file)
+    semantics = get_semantics(args.semantics, **_semantics_kwargs(args))
+    models = sorted(semantics.model_set(db), key=str)
+    label = resolve_name(args.semantics).upper()
+    print(f"{label} selects {len(models)} model(s):")
+    for model in models:
+        print(" ", model)
+    return 0
+
+
+def _cmd_infer(args) -> int:
+    db = _read_database(args.file)
+    formula = parse_formula(args.query)
+    semantics = get_semantics(args.semantics, **_semantics_kwargs(args))
+    verdict = semantics.infers(db, formula)
+    label = resolve_name(args.semantics).upper()
+    print(f"{label}(DB) |= {formula}  :  {verdict}")
+    return 0 if verdict else 1
+
+
+def _cmd_solve(args) -> int:
+    from .sat.solver import find_model
+
+    db = _read_database(args.file)
+    model = find_model(db)
+    if model is None:
+        print("UNSATISFIABLE")
+        return 1
+    print("SATISFIABLE")
+    print("model:", model)
+    return 0
+
+
+def _cmd_stratify(args) -> int:
+    db = _read_database(args.file)
+    stratification = stratify(db)
+    if stratification is None:
+        print("NOT STRATIFIED (dependency cycle through negation)")
+        return 1
+    for index, stratum in enumerate(stratification.strata, start=1):
+        print(f"S{index}: {{{', '.join(sorted(stratum))}}}")
+    return 0
+
+
+def _cmd_repl(args) -> int:
+    from .repl import run_repl
+
+    db = _read_database(args.file) if args.file else None
+    return run_repl(db=db, semantics=args.semantics)
+
+
+def _cmd_closure(args) -> int:
+    from .semantics.state import (
+        egcwa_closure_clauses,
+        gcwa_closure_literals,
+        wgcwa_closure_literals,
+    )
+
+    db = _read_database(args.file)
+    if db.has_negation:
+        print("error: closures are defined for deductive databases",
+              file=sys.stderr)
+        return 2
+    wgcwa = wgcwa_closure_literals(db)
+    gcwa = gcwa_closure_literals(db)
+    print("WGCWA/DDR adds:",
+          ", ".join(f"not {a}" for a in sorted(wgcwa)) or "(nothing)")
+    print("GCWA adds:     ",
+          ", ".join(f"not {a}" for a in sorted(gcwa)) or "(nothing)")
+    egcwa = egcwa_closure_clauses(db, max_size=args.max_size)
+    rendered = [
+        ":- " + ", ".join(sorted(body)) + "."
+        for body in sorted(egcwa, key=lambda b: (len(b), sorted(b)))
+    ]
+    print("EGCWA adds:    ", "  ".join(rendered) or "(nothing)")
+    return 0
+
+
+def _cmd_ground(args) -> int:
+    from .ground import ground_program
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file) as handle:
+            text = handle.read()
+    db = ground_program(text, extra_constants=args.constants or ())
+    print(db)
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from .complexity.classes import Regime
+    from .tables import render_table
+
+    regimes = {
+        "1": [Regime.POSITIVE],
+        "2": [Regime.WITH_ICS],
+        "both": [Regime.POSITIVE, Regime.WITH_ICS],
+    }[args.regime]
+    for regime in regimes:
+        print(
+            render_table(
+                regime,
+                with_evidence=args.evidence,
+                instances=args.instances,
+                atoms=args.atoms,
+            )
+        )
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for every repro-ddb subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ddb",
+        description=(
+            "Disjunctive database semantics — reproduction of Eiter & "
+            "Gottlob, PODS 1993"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_semantics_options(sub):
+        sub.add_argument(
+            "--semantics",
+            "-s",
+            default="egcwa",
+            help="semantics name or alias (e.g. gcwa, wgcwa, circ, stable)",
+        )
+        sub.add_argument(
+            "--engine",
+            choices=("oracle", "brute"),
+            default="oracle",
+            help="decision engine",
+        )
+        sub.add_argument(
+            "--p", help="comma-separated minimized atoms (CCWA/ECWA/ICWA)"
+        )
+        sub.add_argument(
+            "--z", help="comma-separated floating atoms (CCWA/ECWA/ICWA)"
+        )
+
+    models_cmd = commands.add_parser(
+        "models", help="print the models a semantics selects"
+    )
+    models_cmd.add_argument("file", help="database file ('-' for stdin)")
+    add_semantics_options(models_cmd)
+    models_cmd.set_defaults(handler=_cmd_models)
+
+    infer_cmd = commands.add_parser("infer", help="decide inference")
+    infer_cmd.add_argument("file", help="database file ('-' for stdin)")
+    infer_cmd.add_argument(
+        "--query", "-q", required=True, help="formula to infer"
+    )
+    add_semantics_options(infer_cmd)
+    infer_cmd.set_defaults(handler=_cmd_infer)
+
+    solve_cmd = commands.add_parser(
+        "solve", help="classical satisfiability of the database"
+    )
+    solve_cmd.add_argument("file", help="database file ('-' for stdin)")
+    solve_cmd.set_defaults(handler=_cmd_solve)
+
+    stratify_cmd = commands.add_parser(
+        "stratify", help="compute the canonical stratification"
+    )
+    stratify_cmd.add_argument("file", help="database file ('-' for stdin)")
+    stratify_cmd.set_defaults(handler=_cmd_stratify)
+
+    repl_cmd = commands.add_parser(
+        "repl", help="interactive query session"
+    )
+    repl_cmd.add_argument(
+        "file", nargs="?", help="database file to preload"
+    )
+    repl_cmd.add_argument("--semantics", "-s", default="egcwa")
+    repl_cmd.set_defaults(handler=_cmd_repl)
+
+    closure_cmd = commands.add_parser(
+        "closure", help="show the GCWA / WGCWA / EGCWA closure objects"
+    )
+    closure_cmd.add_argument("file", help="database file ('-' for stdin)")
+    closure_cmd.add_argument(
+        "--max-size", type=int, default=2,
+        help="maximum EGCWA closure-clause body size",
+    )
+    closure_cmd.set_defaults(handler=_cmd_closure)
+
+    ground_cmd = commands.add_parser(
+        "ground", help="ground a non-ground (variable) program"
+    )
+    ground_cmd.add_argument("file", help="program file ('-' for stdin)")
+    ground_cmd.add_argument(
+        "--constants",
+        nargs="*",
+        help="extra constants for the active domain",
+    )
+    ground_cmd.set_defaults(handler=_cmd_ground)
+
+    tables_cmd = commands.add_parser(
+        "tables", help="regenerate the paper's Tables 1 and 2"
+    )
+    tables_cmd.add_argument(
+        "--regime", choices=("1", "2", "both"), default="both"
+    )
+    tables_cmd.add_argument(
+        "--evidence",
+        action="store_true",
+        help="re-measure the evidence for every cell (slow)",
+    )
+    tables_cmd.add_argument("--instances", type=int, default=3)
+    tables_cmd.add_argument("--atoms", type=int, default=4)
+    tables_cmd.set_defaults(handler=_cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Complexity classes and the paper's claimed classifications.
+
+Tables 1 and 2 of the paper are encoded here as structured data: for each
+(semantics, task, regime) cell the claimed complexity class and whether
+the claim includes hardness.  The benchmark harness renders these next to
+the measured evidence (oracle-call profiles and validated reductions).
+
+The classes the paper uses (Johnson [13] notation; ``P^Σ2[O(log n)]``
+means polynomial time with O(log n) calls to a Σ₂ᵖ oracle — the class now
+commonly written Θ₃ᵖ):
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class CC(Enum):
+    """The complexity classes appearing in the paper's tables."""
+
+    CONSTANT = "O(1)"
+    P = "P"
+    NP = "NP"
+    CONP = "coNP"
+    SIGMA2P = "Sigma2p"
+    PI2P = "Pi2p"
+    THETA3P = "P^Sigma2p[O(log n)]"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Task(Enum):
+    """The paper's three decision problems."""
+
+    LITERAL = "inference of literal"
+    FORMULA = "inference of formula"
+    EXISTS_MODEL = "exists model"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Regime(Enum):
+    """The two syntactic regimes of Tables 1 and 2."""
+
+    POSITIVE = "positive (no ICs, no negation)"  # Table 1
+    WITH_ICS = "with integrity clauses"  # Table 2
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One table cell.
+
+    Attributes:
+        upper: the claimed membership class.
+        complete: ``True`` when the paper claims completeness for
+            ``upper``; ``False`` for membership-only cells.
+        hard_for: a lower-bound class when it differs from ``upper``
+            (e.g. "Π₂ᵖ-hard, in P^{Σ₂ᵖ}[O(log n)]").
+        note: provenance marks, e.g. Chan's results (the paper's ``*``).
+    """
+
+    upper: CC
+    complete: bool = True
+    hard_for: Optional[CC] = None
+    note: str = ""
+
+    def render(self) -> str:
+        """The cell in the paper's wording."""
+        if self.upper is CC.CONSTANT:
+            return "O(1)"
+        if self.complete:
+            text = f"{self.upper}-complete"
+        elif self.hard_for is not None:
+            text = f"{self.hard_for}-hard, in {self.upper}"
+        else:
+            text = f"in {self.upper}"
+        if self.note:
+            text += f" {self.note}"
+        return text
+
+
+#: Row order of the paper's tables.
+ROW_ORDER: List[str] = [
+    "gcwa",
+    "ddr",
+    "pws",
+    "egcwa",
+    "ccwa",
+    "ecwa",
+    "icwa",
+    "perf",
+    "dsm",
+    "pdsm",
+]
+
+#: Display names used by the paper.
+ROW_LABELS: Dict[str, str] = {
+    "gcwa": "GCWA",
+    "ddr": "DDR (=WGCWA)",
+    "pws": "PWS (=PMS)",
+    "egcwa": "EGCWA",
+    "ccwa": "CCWA",
+    "ecwa": "ECWA (=CIRC)",
+    "icwa": "ICWA",
+    "perf": "PERF",
+    "dsm": "DSM",
+    "pdsm": "PDSM",
+}
+
+_THETA = Claim(CC.THETA3P, complete=False, hard_for=CC.PI2P)
+_PI2C = Claim(CC.PI2P)
+_CONST = Claim(CC.CONSTANT)
+
+#: Table 1: positive propositional DDBs (no integrity clauses, no negation).
+TABLE1: Dict[Tuple[str, Task], Claim] = {
+    ("gcwa", Task.LITERAL): _PI2C,
+    ("gcwa", Task.FORMULA): _THETA,
+    ("gcwa", Task.EXISTS_MODEL): _CONST,
+    ("ddr", Task.LITERAL): Claim(CC.P, complete=False, note="* [Chan]"),
+    ("ddr", Task.FORMULA): Claim(CC.CONP),
+    ("ddr", Task.EXISTS_MODEL): _CONST,
+    ("pws", Task.LITERAL): Claim(CC.P, complete=False, note="* [Chan]"),
+    ("pws", Task.FORMULA): Claim(CC.CONP),
+    ("pws", Task.EXISTS_MODEL): _CONST,
+    ("egcwa", Task.LITERAL): _PI2C,
+    ("egcwa", Task.FORMULA): _PI2C,
+    ("egcwa", Task.EXISTS_MODEL): _CONST,
+    ("ccwa", Task.LITERAL): _THETA,
+    ("ccwa", Task.FORMULA): _THETA,
+    ("ccwa", Task.EXISTS_MODEL): _CONST,
+    ("ecwa", Task.LITERAL): _PI2C,
+    ("ecwa", Task.FORMULA): _PI2C,
+    ("ecwa", Task.EXISTS_MODEL): _CONST,
+    ("icwa", Task.LITERAL): _PI2C,
+    ("icwa", Task.FORMULA): _PI2C,
+    ("icwa", Task.EXISTS_MODEL): _CONST,
+    ("perf", Task.LITERAL): _PI2C,
+    ("perf", Task.FORMULA): _PI2C,
+    ("perf", Task.EXISTS_MODEL): _CONST,
+    ("dsm", Task.LITERAL): _PI2C,
+    ("dsm", Task.FORMULA): _PI2C,
+    ("dsm", Task.EXISTS_MODEL): _CONST,
+    ("pdsm", Task.LITERAL): _PI2C,
+    ("pdsm", Task.FORMULA): _PI2C,
+    ("pdsm", Task.EXISTS_MODEL): _CONST,
+}
+
+#: Table 2: propositional DDBs with integrity clauses.  ICWA and PERF rows
+#: concern stratified / normal databases (which admit negation); the DSM
+#: and PDSM existence bounds hold even without integrity clauses [8].
+TABLE2: Dict[Tuple[str, Task], Claim] = {
+    ("gcwa", Task.LITERAL): _PI2C,
+    ("gcwa", Task.FORMULA): _THETA,
+    ("gcwa", Task.EXISTS_MODEL): Claim(CC.NP),
+    ("ddr", Task.LITERAL): Claim(CC.CONP, note="* [Chan]"),
+    ("ddr", Task.FORMULA): Claim(CC.CONP),
+    ("ddr", Task.EXISTS_MODEL): Claim(CC.NP),
+    ("pws", Task.LITERAL): Claim(CC.CONP, note="* [Chan]"),
+    ("pws", Task.FORMULA): Claim(CC.CONP),
+    ("pws", Task.EXISTS_MODEL): Claim(CC.NP),
+    ("egcwa", Task.LITERAL): _PI2C,
+    ("egcwa", Task.FORMULA): _PI2C,
+    ("egcwa", Task.EXISTS_MODEL): Claim(CC.NP),
+    ("ccwa", Task.LITERAL): _THETA,
+    ("ccwa", Task.FORMULA): _THETA,
+    ("ccwa", Task.EXISTS_MODEL): Claim(CC.NP),
+    ("ecwa", Task.LITERAL): _PI2C,
+    ("ecwa", Task.FORMULA): _PI2C,
+    ("ecwa", Task.EXISTS_MODEL): Claim(CC.NP),
+    ("icwa", Task.LITERAL): _PI2C,
+    ("icwa", Task.FORMULA): _PI2C,
+    ("icwa", Task.EXISTS_MODEL): _CONST,
+    ("perf", Task.LITERAL): _PI2C,
+    ("perf", Task.FORMULA): _PI2C,
+    ("perf", Task.EXISTS_MODEL): Claim(CC.SIGMA2P),
+    ("dsm", Task.LITERAL): _PI2C,
+    ("dsm", Task.FORMULA): _PI2C,
+    ("dsm", Task.EXISTS_MODEL): Claim(CC.SIGMA2P),
+    ("pdsm", Task.LITERAL): _PI2C,
+    ("pdsm", Task.FORMULA): _PI2C,
+    ("pdsm", Task.EXISTS_MODEL): Claim(CC.SIGMA2P),
+}
+
+
+def table(regime: Regime) -> Dict[Tuple[str, Task], Claim]:
+    """The claims table for a regime."""
+    return TABLE1 if regime is Regime.POSITIVE else TABLE2

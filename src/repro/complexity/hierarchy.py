@@ -1,0 +1,115 @@
+"""The polynomial hierarchy as data, and profile-vs-claim consistency.
+
+Johnson's catalogue [13] is the paper's reference for complexity
+notation; this module encodes the fragment the tables use — the classes,
+their inclusion structure, and the oracle-usage *signatures* each class
+predicts for our instrumented decision procedures — so that "the
+measured profile is consistent with the claimed class" is a checkable
+statement rather than prose.
+
+The signature view (for a procedure deciding instances of size ``n``):
+
+========================  ==========================================
+class                      admissible oracle profile
+========================  ==========================================
+O(1), P                    0 NP-oracle calls
+NP, coNP                   O(1) NP-oracle calls (here: ≤ 2)
+Δ₂ᵖ = P^NP                 polynomially many NP calls
+Θ₂ᵖ-style (P^NP[O(log)])   ≤ ⌈log₂(n+1)⌉ + 1 NP calls
+Σ₂ᵖ, Π₂ᵖ                   unbounded NP calls; ≥ 1 Σ₂ᵖ query suffices
+P^{Σ₂ᵖ}[O(log n)]          ≤ ⌈log₂(n+1)⌉ + 1 Σ₂ᵖ calls
+========================  ==========================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from .classes import CC
+
+#: Direct inclusions (transitively closed by :func:`is_subclass_of`).
+_DIRECT_INCLUSIONS: Dict[CC, FrozenSet[CC]] = {
+    CC.CONSTANT: frozenset({CC.P}),
+    CC.P: frozenset({CC.NP, CC.CONP}),
+    CC.NP: frozenset({CC.SIGMA2P}),
+    CC.CONP: frozenset({CC.PI2P}),
+    # NP ∪ coNP ⊆ Δ2p ⊆ Σ2p ∩ Π2p; we route through the classes we use:
+    CC.SIGMA2P: frozenset({CC.THETA3P}),
+    CC.PI2P: frozenset({CC.THETA3P}),
+    CC.THETA3P: frozenset(),
+}
+
+
+def is_subclass_of(lower: CC, upper: CC) -> bool:
+    """Whether ``lower ⊆ upper`` in the (believed-strict) hierarchy."""
+    if lower is upper:
+        return True
+    seen = set()
+    frontier = [lower]
+    while frontier:
+        current = frontier.pop()
+        for parent in _DIRECT_INCLUSIONS.get(current, ()):
+            if parent is upper:
+                return True
+            if parent not in seen:
+                seen.add(parent)
+                frontier.append(parent)
+    return False
+
+
+@dataclass(frozen=True)
+class OracleSignature:
+    """Measured oracle usage of one decision-procedure run.
+
+    Attributes:
+        size: the instance-size parameter ``n`` (here: ``|V|`` or ``|P|``).
+        sat_calls: NP-oracle calls made.
+        sigma2_calls: Σ₂ᵖ-oracle calls made (``None`` = procedure does
+            not use a Σ₂ᵖ oracle).
+    """
+
+    size: int
+    sat_calls: int
+    sigma2_calls: Optional[int] = None
+
+
+def log_bound(size: int) -> int:
+    """The ``⌈log₂(n+1)⌉ + 1`` call budget of the Θ-style machines."""
+    return (math.ceil(math.log2(size + 1)) if size else 0) + 1
+
+
+def signature_consistent_with(
+    signature: OracleSignature, claimed: CC
+) -> bool:
+    """Whether a measured profile is admissible for the claimed class.
+
+    This checks the *upper-bound shape* only — a tractable run is always
+    consistent with a larger class (the hierarchy is upward closed for
+    membership).
+    """
+    if claimed in (CC.CONSTANT, CC.P):
+        return signature.sat_calls == 0 and not signature.sigma2_calls
+    if claimed in (CC.NP, CC.CONP):
+        return signature.sat_calls <= 2 and not signature.sigma2_calls
+    if claimed in (CC.SIGMA2P, CC.PI2P):
+        return True  # any NP/Σ₂ᵖ usage is admissible
+    if claimed is CC.THETA3P:
+        return (
+            signature.sigma2_calls is None
+            or signature.sigma2_calls <= log_bound(signature.size)
+        )
+    raise ValueError(f"unknown class {claimed!r}")
+
+
+def strictness_caveat(lower: CC, upper: CC) -> str:
+    """The standard hedge: strictness of PH inclusions is open."""
+    if lower is upper:
+        return "trivially equal"
+    if is_subclass_of(lower, upper):
+        return (
+            f"{lower} ⊆ {upper}; strictness would separate levels of the "
+            "polynomial hierarchy and is open"
+        )
+    return f"{lower} is not known to be contained in {upper}"

@@ -1,0 +1,46 @@
+"""The paper's hardness reductions as executable transformations."""
+
+from .qbf_to_mm import (
+    MinimalEntailmentInstance,
+    dnf_terms,
+    qbf_to_minimal_entailment,
+)
+from .qbf_to_stable import (
+    ExistenceInstance,
+    qbf_to_dsm_existence,
+    qbf_to_pdsm_existence,
+    qbf_to_perf_existence,
+)
+from .sat_to_model_existence import cnf_to_database, database_to_cnf_clauses
+from .uminsat import (
+    has_unique_minimal_model,
+    to_normal_program,
+    unsat_to_nlp_unique_minimal,
+    unsat_to_uminsat,
+)
+from .unsat_to_closure import (
+    FormulaInferenceInstance,
+    LiteralInferenceInstance,
+    unsat_to_ddr_formula,
+    unsat_to_ddr_literal,
+)
+
+__all__ = [
+    "MinimalEntailmentInstance",
+    "dnf_terms",
+    "qbf_to_minimal_entailment",
+    "ExistenceInstance",
+    "qbf_to_dsm_existence",
+    "qbf_to_pdsm_existence",
+    "qbf_to_perf_existence",
+    "cnf_to_database",
+    "database_to_cnf_clauses",
+    "has_unique_minimal_model",
+    "to_normal_program",
+    "unsat_to_nlp_unique_minimal",
+    "unsat_to_uminsat",
+    "FormulaInferenceInstance",
+    "LiteralInferenceInstance",
+    "unsat_to_ddr_formula",
+    "unsat_to_ddr_literal",
+]

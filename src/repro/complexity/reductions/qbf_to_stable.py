@@ -1,0 +1,104 @@
+"""Σ₂ᵖ-hardness of DSM / PDSM / PERF model existence (Table 2).
+
+All three constructions extend the positive database ``T`` of
+:mod:`.qbf_to_mm` (where ``∃X∀Y φ`` is valid iff some minimal model of
+``T`` contains ``w``).
+
+**DSM** (no integrity clauses needed, matching the remark credited to
+[8]): add ``a :- not w`` for *every* atom ``a`` of ``T``.  For a stable
+candidate ``M``:
+
+* if ``w ∈ M`` the added clauses vanish from the reduct, so ``M`` is
+  stable iff ``M ∈ MM(T)`` with ``w ∈ M``;
+* if ``w ∉ M`` the reduct contains every atom as a fact, forcing
+  ``M = V ∋ w`` — a contradiction — so no stable model omits ``w``.
+
+Hence ``DSM(DB) ≠ ∅`` iff the QBF is valid.  Because total partial stable
+models are exactly the stable models and the construction leaves no room
+for strictly-partial ones to appear when the QBF is invalid is *not*
+automatic, the PDSM benchmark uses the same instance but its claim —
+agreement with DSM existence — is verified against brute force on small
+instances in the tests.
+
+**PERF**: add the unstratified pair ``p :- not q, not w`` /
+``q :- not p, not w``.  When ``w`` is in a minimal model (QBF valid) that
+model is perfect (the gadget is switched off and ``w``-containing minimal
+models tolerate no preferable rival); when the QBF is invalid every model
+either contains ``w`` non-minimally/unsupportedly or trips the
+``p``/``q`` priority cycle, which always yields a preferable rival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ...logic.clause import Clause
+from ...logic.database import DisjunctiveDatabase
+from ...qbf.formula import QBF2
+from .qbf_to_mm import W, qbf_to_minimal_entailment
+
+#: Gadget atoms for the PERF construction.
+P_GADGET = "p_gadget"
+Q_GADGET = "q_gadget"
+
+
+@dataclass(frozen=True)
+class ExistenceInstance:
+    """valid(qbf) ⟺ the target semantics admits a model of ``db``."""
+
+    db: DisjunctiveDatabase
+    w: str
+
+
+def qbf_to_dsm_existence(qbf: QBF2) -> ExistenceInstance:
+    """``∃X∀Y φ`` valid  ⟺  ``db`` has a disjunctive stable model.
+
+    The database is a DNDB *without integrity clauses*.
+    """
+    base = qbf_to_minimal_entailment(qbf)
+    clauses: List[Clause] = list(base.db.clauses)
+    for atom in sorted(base.db.vocabulary):
+        if atom == W:
+            continue
+        clauses.append(Clause.rule([atom], [], [W]))
+    return ExistenceInstance(
+        db=DisjunctiveDatabase(clauses, base.db.vocabulary), w=W
+    )
+
+
+def qbf_to_pdsm_existence(qbf: QBF2) -> ExistenceInstance:
+    """``∃X∀Y φ`` valid  ⟺  ``db`` has a *partial* stable model.
+
+    Construction: ``T ∪ {:- not w}``.  The integrity clause's reduct
+    bound is ``1 - I(w)``, and an empty head has value 0, so any partial
+    stable candidate must set ``w = 1`` exactly.  The reduct then
+    collapses to the positive ``T``, and for positive programs a 3-valued
+    interpretation satisfies ``T`` iff both its true-set and its
+    possible-set do classically — so a non-total candidate ``I`` is
+    always beaten by ``(true(I), true(I))`` and the partial stable models
+    are exactly the minimal models of ``T`` containing ``w``.  The same
+    database also works for DSM (Table 2, with integrity clauses).
+    """
+    base = qbf_to_minimal_entailment(qbf)
+    clauses: List[Clause] = list(base.db.clauses)
+    clauses.append(Clause(frozenset(), frozenset(), frozenset((W,))))
+    return ExistenceInstance(
+        db=DisjunctiveDatabase(clauses, base.db.vocabulary), w=W
+    )
+
+
+def qbf_to_perf_existence(qbf: QBF2) -> ExistenceInstance:
+    """``∃X∀Y φ`` valid  ⟺  ``db`` has a perfect model.
+
+    The database is a DNDB without integrity clauses whose only negation
+    sits in the two gadget clauses.
+    """
+    base = qbf_to_minimal_entailment(qbf)
+    clauses: List[Clause] = list(base.db.clauses)
+    clauses.append(Clause.rule([P_GADGET], [], [Q_GADGET, W]))
+    clauses.append(Clause.rule([Q_GADGET], [], [P_GADGET, W]))
+    vocabulary = base.db.vocabulary | {P_GADGET, Q_GADGET}
+    return ExistenceInstance(
+        db=DisjunctiveDatabase(clauses, vocabulary), w=W
+    )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with a single handler while
+still being able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this package."""
+
+
+class ParseError(ReproError):
+    """A database or formula string could not be parsed.
+
+    Attributes:
+        text: the offending input fragment.
+        position: character offset of the error in the original input,
+            or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str, text: str = "", position: "int | None" = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class NotStratifiedError(ReproError):
+    """A stratification-requiring operation was applied to an
+    unstratifiable database (e.g. ICWA on a database with a negative
+    dependency cycle)."""
+
+
+class NotPositiveError(ReproError):
+    """An operation defined only for positive databases (no negation in
+    rule bodies) was applied to a database containing negation."""
+
+
+class InconsistentDatabaseError(ReproError):
+    """An operation that requires at least one (classical) model was
+    applied to an unsatisfiable database."""
+
+
+class NoModelError(ReproError):
+    """A semantics was asked to produce a model but admits none for the
+    given database (e.g. DSM on a database without stable models)."""
+
+
+class PartitionError(ReproError):
+    """An invalid ``(P; Q; Z)`` partition of the vocabulary was supplied
+    (overlapping blocks, atoms outside the vocabulary, or missing atoms)."""
+
+
+class SolverError(ReproError):
+    """Internal invariant violation inside a solver component."""
+
+
+class BudgetExceededError(ReproError):
+    """A solver exceeded an explicitly configured resource budget
+    (conflicts, oracle calls, or enumerated models)."""

@@ -1,0 +1,18 @@
+"""Grounding of function-free rules into propositional databases
+(beyond-paper convenience; the paper works with already-grounded DBs)."""
+
+from .grounder import Grounder, ground_program
+from .rules import Rule, parse_rule, parse_rules
+from .terms import PredicateAtom, is_constant, is_variable, parse_predicate_atom
+
+__all__ = [
+    "Grounder",
+    "ground_program",
+    "Rule",
+    "parse_rule",
+    "parse_rules",
+    "PredicateAtom",
+    "is_constant",
+    "is_variable",
+    "parse_predicate_atom",
+]

@@ -1,0 +1,135 @@
+"""Non-ground rules and their parser.
+
+Surface syntax mirrors the propositional one, with uppercase variables::
+
+    win(X) :- move(X, Y), not win(Y).
+    move(a, b).  move(b, c).
+    p(X) | q(X) :- node(X).
+    :- p(X), q(X).
+
+Rules must be *safe*: every variable of the head and of negative body
+literals occurs in some positive body literal (the standard Datalog
+safety condition guaranteeing finite, domain-independent grounding).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from ..errors import ParseError
+from .terms import PredicateAtom, parse_predicate_atom
+
+_COMMENT_RE = re.compile(r"[%#][^\n]*")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A non-ground disjunctive rule."""
+
+    head: Tuple[PredicateAtom, ...]
+    body_pos: Tuple[PredicateAtom, ...] = ()
+    body_neg: Tuple[PredicateAtom, ...] = ()
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for atom in self.head + self.body_pos + self.body_neg:
+            result |= atom.variables
+        return result
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body_pos and not self.body_neg
+
+    def check_safety(self) -> None:
+        """Raise :class:`~repro.errors.ParseError` for unsafe rules."""
+        bound: FrozenSet[str] = frozenset()
+        for atom in self.body_pos:
+            bound |= atom.variables
+        unsafe = (self.variables - bound)
+        if unsafe:
+            raise ParseError(
+                f"unsafe rule (variables {sorted(unsafe)} not bound by a "
+                f"positive body literal): {self}"
+            )
+
+    def __str__(self) -> str:
+        head = " | ".join(str(a) for a in self.head)
+        body = [str(a) for a in self.body_pos]
+        body += ["not " + str(a) for a in self.body_neg]
+        if not body:
+            return f"{head}." if head else ":- ."
+        prefix = f"{head} :- " if head else ":- "
+        return prefix + ", ".join(body) + "."
+
+
+def _split_commas_outside_parens(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse one non-ground rule (trailing ``.`` optional)."""
+    original = text
+    text = _COMMENT_RE.sub("", text).strip()
+    if text.endswith("."):
+        text = text[:-1].strip()
+    if not text:
+        raise ParseError("empty rule", original)
+    if ":-" in text:
+        head_text, _, body_text = text.partition(":-")
+    else:
+        head_text, body_text = text, ""
+
+    head: List[PredicateAtom] = []
+    head_text = head_text.strip()
+    if head_text:
+        for part in re.split(r"[|;]", head_text):
+            head.append(parse_predicate_atom(part))
+
+    body_pos: List[PredicateAtom] = []
+    body_neg: List[PredicateAtom] = []
+    body_text = body_text.strip()
+    if body_text:
+        for part in _split_commas_outside_parens(body_text):
+            part = part.strip()
+            if not part:
+                raise ParseError("empty body literal", original)
+            if part.startswith("not "):
+                body_neg.append(parse_predicate_atom(part[4:]))
+            elif part.startswith(("~", "¬")):
+                body_neg.append(parse_predicate_atom(part[1:]))
+            else:
+                body_pos.append(parse_predicate_atom(part))
+
+    if not head and not body_pos and not body_neg:
+        raise ParseError("rule has neither head nor body", original)
+    rule = Rule(tuple(head), tuple(body_pos), tuple(body_neg))
+    rule.check_safety()
+    return rule
+
+
+def parse_rules(text: str) -> List[Rule]:
+    """Parse a whole non-ground program."""
+    cleaned = _COMMENT_RE.sub("", text)
+    rules = []
+    for statement in cleaned.split("."):
+        statement = statement.strip()
+        if statement:
+            rules.append(parse_rule(statement + "."))
+    return rules

@@ -1,0 +1,89 @@
+"""Atoms and literals.
+
+Atoms are plain strings (``"a"``, ``"x1"``, ``"broken(valve)"`` after
+grounding).  A :class:`Literal` pairs an atom with a sign.  Literals are
+immutable, hashable, and totally ordered (negative before positive on the
+same atom, atoms alphabetically) so that sets of literals print
+deterministically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Regular expression for syntactically valid atom names in the surface
+#: syntax: an identifier optionally followed by a parenthesised argument
+#: list (produced by the grounder).
+ATOM_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*(\([a-zA-Z0-9_,\s]*\))?")
+
+
+def is_valid_atom(name: str) -> bool:
+    """Return whether ``name`` is usable as an atom in the surface syntax."""
+    match = ATOM_RE.fullmatch(name)
+    return match is not None
+
+
+@dataclass(frozen=True, order=False)
+class Literal:
+    """A signed atom.
+
+    Attributes:
+        atom: the underlying propositional variable name.
+        positive: ``True`` for the atom itself, ``False`` for its negation.
+    """
+
+    atom: str
+    positive: bool = True
+
+    def __neg__(self) -> "Literal":
+        """The complementary literal."""
+        return Literal(self.atom, not self.positive)
+
+    @property
+    def negated(self) -> "Literal":
+        """Alias for ``-self``."""
+        return -self
+
+    def __str__(self) -> str:
+        return self.atom if self.positive else "not " + self.atom
+
+    def __repr__(self) -> str:
+        sign = "+" if self.positive else "-"
+        return f"Literal({sign}{self.atom})"
+
+    def __lt__(self, other: "Literal") -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return (self.atom, self.positive) < (other.atom, other.positive)
+
+    def __le__(self, other: "Literal") -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return (self.atom, self.positive) <= (other.atom, other.positive)
+
+    @staticmethod
+    def pos(atom: str) -> "Literal":
+        """The positive literal on ``atom``."""
+        return Literal(atom, True)
+
+    @staticmethod
+    def neg(atom: str) -> "Literal":
+        """The negative literal on ``atom``."""
+        return Literal(atom, False)
+
+    @staticmethod
+    def parse(text: str) -> "Literal":
+        """Parse ``"a"``, ``"not a"``, ``"-a"`` or ``"~a"`` into a literal."""
+        text = text.strip()
+        if text.startswith("not "):
+            return Literal(text[4:].strip(), False)
+        if text.startswith(("-", "~", "¬")):
+            return Literal(text[1:].strip(), False)
+        return Literal(text, True)
+
+
+def atoms_of(literals: Iterable[Literal]) -> "frozenset[str]":
+    """The set of atoms mentioned by ``literals``."""
+    return frozenset(lit.atom for lit in literals)

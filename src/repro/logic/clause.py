@@ -1,0 +1,182 @@
+"""Disjunctive database clauses.
+
+A clause (paper, Section 2) has the shape::
+
+    a1 | ... | an :- b1, ..., bk, not c1, ..., not cm.
+
+with ``n, k, m >= 0``.  The ``a``s form the *head* (a disjunction), the
+``b``s the *positive body*, and the ``c``s the *negative body*.  A clause
+with an empty head (``n = 0``) is an *integrity clause*; a clause with an
+empty body is a (disjunctive) *fact*.
+
+Classically, the clause denotes the propositional clause
+``a1 v ... v an v -b1 v ... v -bk v c1 v ... v cm`` — an interpretation
+``M`` satisfies it iff whenever all ``b``s are true in ``M`` and all ``c``s
+are false in ``M``, some ``a`` is true in ``M``.  The nonmonotonic
+semantics differ in *which* classical models they select, not in this
+satisfaction relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Iterable, Tuple
+
+from .atoms import Literal
+
+
+def _fset(items: Iterable[str]) -> "frozenset[str]":
+    return frozenset(items)
+
+
+@dataclass(frozen=True)
+class Clause:
+    """An immutable disjunctive clause ``head :- body_pos, not body_neg``.
+
+    Attributes:
+        head: atoms in the disjunctive head (may be empty: integrity clause).
+        body_pos: atoms occurring positively in the body.
+        body_neg: atoms occurring under ``not`` in the body.
+    """
+
+    head: "frozenset[str]" = field(default_factory=frozenset)
+    body_pos: "frozenset[str]" = field(default_factory=frozenset)
+    body_neg: "frozenset[str]" = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        # Normalize any iterable input into frozensets so equality/hash are
+        # structural regardless of how the clause was constructed.
+        object.__setattr__(self, "head", _fset(self.head))
+        object.__setattr__(self, "body_pos", _fset(self.body_pos))
+        object.__setattr__(self, "body_neg", _fset(self.body_neg))
+
+    # ------------------------------------------------------------------
+    # Syntactic classification
+    # ------------------------------------------------------------------
+    @property
+    def is_integrity(self) -> bool:
+        """Whether the clause has an empty head (a denial)."""
+        return not self.head
+
+    @property
+    def is_positive(self) -> bool:
+        """Whether the body contains no negation."""
+        return not self.body_neg
+
+    @property
+    def is_fact(self) -> bool:
+        """Whether the body is empty (a disjunctive fact)."""
+        return not self.body_pos and not self.body_neg
+
+    @property
+    def is_horn(self) -> bool:
+        """Whether the head has at most one atom and the body no negation."""
+        return len(self.head) <= 1 and self.is_positive
+
+    @property
+    def is_definite(self) -> bool:
+        """Whether the head has exactly one atom and the body no negation."""
+        return len(self.head) == 1 and self.is_positive
+
+    @property
+    def is_disjunctive(self) -> bool:
+        """Whether the head has two or more atoms."""
+        return len(self.head) >= 2
+
+    @property
+    def atoms(self) -> "frozenset[str]":
+        """All atoms occurring anywhere in the clause."""
+        return self.head | self.body_pos | self.body_neg
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def body_true_in(self, interpretation: AbstractSet[str]) -> bool:
+        """Whether the full body is true in ``interpretation``
+        (a set of true atoms; everything else is false)."""
+        return self.body_pos <= interpretation and not (
+            self.body_neg & interpretation
+        )
+
+    def satisfied_by(self, interpretation: AbstractSet[str]) -> bool:
+        """Classical satisfaction: body true implies some head atom true."""
+        if not self.body_true_in(interpretation):
+            return True
+        return bool(self.head & interpretation)
+
+    def to_classical_literals(self) -> "Tuple[Literal, ...]":
+        """The clause as a classical disjunction of literals.
+
+        Heads and negated body atoms occur positively; positive body atoms
+        occur negatively.  Sorted for determinism.
+        """
+        literals = (
+            [Literal.pos(a) for a in self.head]
+            + [Literal.neg(b) for b in self.body_pos]
+            + [Literal.pos(c) for c in self.body_neg]
+        )
+        return tuple(sorted(literals))
+
+    def to_formula(self):
+        """The clause as a :class:`~repro.logic.formula.Formula`
+        (classical disjunction of its literals)."""
+        from .formula import Not, Var, disj
+
+        parts = [Var(a) for a in sorted(self.head)]
+        parts += [Not(Var(b)) for b in sorted(self.body_pos)]
+        parts += [Var(c) for c in sorted(self.body_neg)]
+        return disj(parts)
+
+    def is_tautology(self) -> bool:
+        """Whether the clause is classically valid (e.g. ``a :- a`` or a
+        clause whose head intersects its positive body, or whose head
+        shares an atom with... the negative body making it vacuous)."""
+        # head & body_pos: if the shared atom is true the head is true; if
+        # it is false the body is false.  head & body_neg does NOT make a
+        # tautology (e.g. ``a :- not a`` excludes models where a is false).
+        return bool(self.head & self.body_pos)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fact(*head: str) -> "Clause":
+        """A disjunctive fact ``a1 | ... | an.``"""
+        return Clause(head=frozenset(head))
+
+    @staticmethod
+    def rule(
+        head: Iterable[str],
+        body_pos: Iterable[str] = (),
+        body_neg: Iterable[str] = (),
+    ) -> "Clause":
+        """General constructor accepting any iterables of atom names."""
+        return Clause(frozenset(head), frozenset(body_pos), frozenset(body_neg))
+
+    @staticmethod
+    def integrity(body_pos: Iterable[str], body_neg: Iterable[str] = ()) -> "Clause":
+        """An integrity clause ``:- b1, ..., bk, not c1, ..., not cm.``"""
+        return Clause(frozenset(), frozenset(body_pos), frozenset(body_neg))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        head = " | ".join(sorted(self.head))
+        body_parts = sorted(self.body_pos) + [
+            "not " + c for c in sorted(self.body_neg)
+        ]
+        body = ", ".join(body_parts)
+        if not body:
+            return f"{head}." if head else ":- ."
+        if not head:
+            return f":- {body}."
+        return f"{head} :- {body}."
+
+    def __repr__(self) -> str:
+        return f"Clause({self})"
+
+    def __lt__(self, other: "Clause") -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return str(self) < str(other)

@@ -1,0 +1,79 @@
+"""DIMACS CNF import/export for interoperability with external tools.
+
+The writer records the atom <-> variable-number mapping in ``c map``
+comment lines so that a round-trip preserves atom names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ParseError
+from .atoms import Literal
+from .cnf import Cnf
+
+
+def to_dimacs(cnf: Cnf) -> str:
+    """Serialize a symbolic CNF to DIMACS, including the name map."""
+    atoms = sorted({l.atom for clause in cnf for l in clause})
+    index: Dict[str, int] = {atom: i + 1 for i, atom in enumerate(atoms)}
+    lines = [f"c map {number} {atom}" for atom, number in index.items()]
+    lines.append(f"p cnf {len(atoms)} {len(cnf)}")
+    for clause in cnf:
+        numbers = sorted(
+            (index[l.atom] if l.positive else -index[l.atom]) for l in clause
+        )
+        lines.append(" ".join(str(n) for n in numbers) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> Tuple[Cnf, Dict[int, str]]:
+    """Parse DIMACS text into a symbolic CNF.
+
+    Variables named in ``c map`` comments get their recorded names; all
+    others are named ``v<number>``.  Returns ``(cnf, name_map)``.
+    """
+    names: Dict[int, str] = {}
+    clauses: Cnf = []
+    declared: "Tuple[int, int] | None" = None
+    current: List[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "map":
+                try:
+                    names[int(parts[2])] = parts[3]
+                except ValueError as exc:
+                    raise ParseError(f"bad map comment: {line!r}") from exc
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ParseError(f"bad problem line: {line!r}")
+            declared = (int(parts[2]), int(parts[3]))
+            continue
+        for token in line.split():
+            try:
+                number = int(token)
+            except ValueError as exc:
+                raise ParseError(f"bad literal token {token!r}") from exc
+            if number == 0:
+                clauses.append(
+                    frozenset(
+                        Literal(names.get(abs(n), f"v{abs(n)}"), n > 0)
+                        for n in current
+                    )
+                )
+                current = []
+            else:
+                current.append(number)
+    if current:
+        raise ParseError("last clause not 0-terminated")
+    if declared is not None and declared[1] != len(clauses):
+        raise ParseError(
+            f"problem line declares {declared[1]} clauses, found {len(clauses)}"
+        )
+    return clauses, names

@@ -1,0 +1,397 @@
+"""Propositional formulas.
+
+The inference problems of the paper ask whether a *formula* ``F`` is true
+in every model selected by a semantics.  This module provides an immutable
+formula AST with classical (2-valued) and Kleene (3-valued, for PDSM)
+evaluation, structural helpers, and operator overloading for readable
+construction::
+
+    f = (Var("a") & ~Var("b")) >> Var("c")
+
+The fragment is full propositional logic: constants, variables, negation,
+conjunction, disjunction, implication, and equivalence.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import AbstractSet, FrozenSet, Iterable, Mapping, Tuple
+
+#: Three-valued truth degrees (PDSM, paper Section 5.2): false, undefined,
+#: true.  Fractions avoid float comparisons.
+FALSE3 = Fraction(0)
+UNDEF3 = Fraction(1, 2)
+TRUE3 = Fraction(1)
+
+
+class Formula(ABC):
+    """Base class of all formula nodes.  Instances are immutable."""
+
+    __slots__ = ()
+
+    # -- evaluation ----------------------------------------------------
+    @abstractmethod
+    def evaluate(self, interpretation: AbstractSet[str]) -> bool:
+        """Classical truth under the set of true atoms."""
+
+    @abstractmethod
+    def evaluate3(self, valuation: Mapping[str, Fraction]) -> Fraction:
+        """Kleene 3-valued truth degree under an atom valuation into
+        ``{0, 1/2, 1}``."""
+
+    # -- structure -----------------------------------------------------
+    @abstractmethod
+    def atoms(self) -> FrozenSet[str]:
+        """All variables occurring in the formula."""
+
+    @abstractmethod
+    def __str__(self) -> str: ...
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+    # -- operators -----------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+    def iff(self, other: "Formula") -> "Formula":
+        """Biconditional ``self <-> other``."""
+        return Iff(self, other)
+
+    # -- equality ------------------------------------------------------
+    @abstractmethod
+    def _key(self) -> tuple: ...
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Formula):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+
+class Top(Formula):
+    """The constant true formula."""
+
+    __slots__ = ()
+
+    def evaluate(self, interpretation: AbstractSet[str]) -> bool:
+        return True
+
+    def evaluate3(self, valuation: Mapping[str, Fraction]) -> Fraction:
+        return TRUE3
+
+    def atoms(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+    def _key(self) -> tuple:
+        return ("top",)
+
+
+class Bottom(Formula):
+    """The constant false formula."""
+
+    __slots__ = ()
+
+    def evaluate(self, interpretation: AbstractSet[str]) -> bool:
+        return False
+
+    def evaluate3(self, valuation: Mapping[str, Fraction]) -> Fraction:
+        return FALSE3
+
+    def atoms(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "false"
+
+    def _key(self) -> tuple:
+        return ("bottom",)
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+class Var(Formula):
+    """A propositional variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - guard
+        raise AttributeError("Var is immutable")
+
+    def evaluate(self, interpretation: AbstractSet[str]) -> bool:
+        return self.name in interpretation
+
+    def evaluate3(self, valuation: Mapping[str, Fraction]) -> Fraction:
+        return valuation.get(self.name, FALSE3)
+
+    def atoms(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def __str__(self) -> str:
+        return self.name
+
+    def _key(self) -> tuple:
+        return ("var", self.name)
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula):
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - guard
+        raise AttributeError("Not is immutable")
+
+    def evaluate(self, interpretation: AbstractSet[str]) -> bool:
+        return not self.operand.evaluate(interpretation)
+
+    def evaluate3(self, valuation: Mapping[str, Fraction]) -> Fraction:
+        return TRUE3 - self.operand.evaluate3(valuation)
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.operand.atoms()
+
+    def __str__(self) -> str:
+        return f"~{_wrap(self.operand)}"
+
+    def _key(self) -> tuple:
+        return ("not", self.operand._key())
+
+
+class _Nary(Formula):
+    """Shared machinery for conjunction and disjunction (flattened)."""
+
+    __slots__ = ("operands",)
+    _symbol = "?"
+    _tag = "?"
+
+    def __init__(self, *operands: Formula):
+        flat: list = []
+        for op in operands:
+            if isinstance(op, type(self)):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - guard
+        raise AttributeError("formula nodes are immutable")
+
+    def atoms(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            result |= op.atoms()
+        return result
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true" if isinstance(self, And) else "false"
+        return f" {self._symbol} ".join(_wrap(op) for op in self.operands)
+
+    def _key(self) -> tuple:
+        return (self._tag, tuple(op._key() for op in self.operands))
+
+
+class And(_Nary):
+    """Conjunction (n-ary; empty conjunction is true)."""
+
+    __slots__ = ()
+    _symbol = "&"
+    _tag = "and"
+
+    def evaluate(self, interpretation: AbstractSet[str]) -> bool:
+        return all(op.evaluate(interpretation) for op in self.operands)
+
+    def evaluate3(self, valuation: Mapping[str, Fraction]) -> Fraction:
+        return min(
+            (op.evaluate3(valuation) for op in self.operands), default=TRUE3
+        )
+
+
+class Or(_Nary):
+    """Disjunction (n-ary; empty disjunction is false)."""
+
+    __slots__ = ()
+    _symbol = "|"
+    _tag = "or"
+
+    def evaluate(self, interpretation: AbstractSet[str]) -> bool:
+        return any(op.evaluate(interpretation) for op in self.operands)
+
+    def evaluate3(self, valuation: Mapping[str, Fraction]) -> Fraction:
+        return max(
+            (op.evaluate3(valuation) for op in self.operands), default=FALSE3
+        )
+
+
+class Implies(Formula):
+    """Material implication."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Formula, consequent: Formula):
+        object.__setattr__(self, "antecedent", antecedent)
+        object.__setattr__(self, "consequent", consequent)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - guard
+        raise AttributeError("Implies is immutable")
+
+    def evaluate(self, interpretation: AbstractSet[str]) -> bool:
+        return (not self.antecedent.evaluate(interpretation)) or (
+            self.consequent.evaluate(interpretation)
+        )
+
+    def evaluate3(self, valuation: Mapping[str, Fraction]) -> Fraction:
+        # Kleene implication: max(1 - a, b).
+        return max(
+            TRUE3 - self.antecedent.evaluate3(valuation),
+            self.consequent.evaluate3(valuation),
+        )
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.antecedent.atoms() | self.consequent.atoms()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.antecedent)} -> {_wrap(self.consequent)}"
+
+    def _key(self) -> tuple:
+        return ("implies", self.antecedent._key(), self.consequent._key())
+
+
+class Iff(Formula):
+    """Biconditional."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover - guard
+        raise AttributeError("Iff is immutable")
+
+    def evaluate(self, interpretation: AbstractSet[str]) -> bool:
+        return self.left.evaluate(interpretation) == self.right.evaluate(
+            interpretation
+        )
+
+    def evaluate3(self, valuation: Mapping[str, Fraction]) -> Fraction:
+        # a <-> b  ==  (a -> b) & (b -> a) under Kleene.
+        a = self.left.evaluate3(valuation)
+        b = self.right.evaluate3(valuation)
+        return min(max(TRUE3 - a, b), max(TRUE3 - b, a))
+
+    def atoms(self) -> FrozenSet[str]:
+        return self.left.atoms() | self.right.atoms()
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} <-> {_wrap(self.right)}"
+
+    def _key(self) -> tuple:
+        return ("iff", self.left._key(), self.right._key())
+
+
+def _wrap(formula: Formula) -> str:
+    """Parenthesise non-atomic subformulas when rendering."""
+    if isinstance(formula, (Var, Top, Bottom, Not)):
+        return str(formula)
+    return f"({formula})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def conj(formulas: Iterable[Formula]) -> Formula:
+    """N-ary conjunction; empty input yields ``true``."""
+    items: Tuple[Formula, ...] = tuple(formulas)
+    if not items:
+        return TOP
+    if len(items) == 1:
+        return items[0]
+    return And(*items)
+
+
+def disj(formulas: Iterable[Formula]) -> Formula:
+    """N-ary disjunction; empty input yields ``false``."""
+    items: Tuple[Formula, ...] = tuple(formulas)
+    if not items:
+        return BOTTOM
+    if len(items) == 1:
+        return items[0]
+    return Or(*items)
+
+
+def lit(atom: str, positive: bool = True) -> Formula:
+    """A literal as a formula."""
+    var = Var(atom)
+    return var if positive else Not(var)
+
+
+def negation_normal_form(formula: Formula) -> Formula:
+    """Push negations down to variables and eliminate ``->`` / ``<->``."""
+    return _nnf(formula, False)
+
+
+def _nnf(formula: Formula, negated: bool) -> Formula:
+    if isinstance(formula, Top):
+        return BOTTOM if negated else TOP
+    if isinstance(formula, Bottom):
+        return TOP if negated else BOTTOM
+    if isinstance(formula, Var):
+        return Not(formula) if negated else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negated)
+    if isinstance(formula, And):
+        parts = [_nnf(op, negated) for op in formula.operands]
+        return disj(parts) if negated else conj(parts)
+    if isinstance(formula, Or):
+        parts = [_nnf(op, negated) for op in formula.operands]
+        return conj(parts) if negated else disj(parts)
+    if isinstance(formula, Implies):
+        if negated:  # ~(a -> b) == a & ~b
+            return conj(
+                [_nnf(formula.antecedent, False), _nnf(formula.consequent, True)]
+            )
+        return disj(
+            [_nnf(formula.antecedent, True), _nnf(formula.consequent, False)]
+        )
+    if isinstance(formula, Iff):
+        # a <-> b == (a & b) | (~a & ~b);  ~(a <-> b) == (a & ~b) | (~a & b)
+        a, b = formula.left, formula.right
+        if negated:
+            return disj(
+                [
+                    conj([_nnf(a, False), _nnf(b, True)]),
+                    conj([_nnf(a, True), _nnf(b, False)]),
+                ]
+            )
+        return disj(
+            [
+                conj([_nnf(a, False), _nnf(b, False)]),
+                conj([_nnf(a, True), _nnf(b, True)]),
+            ]
+        )
+    raise TypeError(f"unknown formula node: {formula!r}")

@@ -1,0 +1,281 @@
+"""Parsers for the surface syntax of databases and formulas.
+
+Database syntax (one clause per ``.``-terminated statement)::
+
+    a | b :- c, not d.      % disjunctive rule
+    a.                      % fact
+    a | b.                  % disjunctive fact
+    :- a, b.                % integrity clause (denial)
+    winner(x) :- plays(x).  % grounded atoms with arguments are fine
+
+``;`` may be used instead of ``|`` in heads, ``<-`` instead of ``:-``, and
+``%`` or ``#`` start a comment running to end of line.
+
+Formula syntax (precedence low to high: ``<->``, ``->``, ``|``, ``&``,
+``~``/``not``)::
+
+    (a & ~b) -> c | d
+    a <-> not b
+    true, false
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .atoms import ATOM_RE
+from .clause import Clause
+from .database import DisjunctiveDatabase
+from .formula import (
+    BOTTOM,
+    TOP,
+    And,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+)
+
+# ----------------------------------------------------------------------
+# Database parsing
+# ----------------------------------------------------------------------
+_COMMENT_RE = re.compile(r"[%#][^\n]*")
+
+
+def _strip_comments(text: str) -> str:
+    return _COMMENT_RE.sub("", text)
+
+
+def parse_clause(text: str) -> Clause:
+    """Parse a single clause (trailing ``.`` optional)."""
+    original = text
+    text = _strip_comments(text).strip()
+    if text.endswith("."):
+        text = text[:-1].strip()
+    if not text:
+        raise ParseError("empty clause", original)
+
+    if ":-" in text:
+        head_text, _, body_text = text.partition(":-")
+    elif "<-" in text:
+        head_text, _, body_text = text.partition("<-")
+    else:
+        head_text, body_text = text, ""
+
+    head = _parse_head(head_text, original)
+    body_pos, body_neg = _parse_body(body_text, original)
+    if not head and not body_pos and not body_neg:
+        raise ParseError(
+            "clause has neither head nor body (the empty clause must be "
+            "built programmatically if really intended)",
+            original,
+        )
+    return Clause(head, body_pos, body_neg)
+
+
+def _parse_head(text: str, original: str) -> "frozenset[str]":
+    text = text.strip()
+    if not text:
+        return frozenset()
+    parts = re.split(r"[|;]", text)
+    atoms = []
+    for part in parts:
+        atom = part.strip()
+        if not ATOM_RE.fullmatch(atom):
+            raise ParseError(f"invalid head atom {atom!r}", original)
+        atoms.append(atom)
+    return frozenset(atoms)
+
+
+def _split_body(text: str) -> List[str]:
+    """Split a body on commas that are not inside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_body(
+    text: str, original: str
+) -> "Tuple[frozenset[str], frozenset[str]]":
+    text = text.strip()
+    if not text:
+        return frozenset(), frozenset()
+    pos: List[str] = []
+    neg: List[str] = []
+    for part in _split_body(text):
+        part = part.strip()
+        if not part:
+            raise ParseError("empty body literal", original)
+        negative = False
+        if part.startswith("not "):
+            negative = True
+            part = part[4:].strip()
+        elif part.startswith(("~", "-", "¬")):
+            negative = True
+            part = part[1:].strip()
+        if part == "not":
+            raise ParseError("dangling 'not' in body", original)
+        if not ATOM_RE.fullmatch(part):
+            raise ParseError(f"invalid body atom {part!r}", original)
+        (neg if negative else pos).append(part)
+    return frozenset(pos), frozenset(neg)
+
+
+def parse_database(
+    text: str, vocabulary: "Optional[list[str]]" = None
+) -> DisjunctiveDatabase:
+    """Parse a whole database from ``.``-terminated statements."""
+    cleaned = _strip_comments(text)
+    clauses = []
+    for statement in cleaned.split("."):
+        statement = statement.strip()
+        if statement:
+            clauses.append(parse_clause(statement + "."))
+    return DisjunctiveDatabase(clauses, vocabulary)
+
+
+# ----------------------------------------------------------------------
+# Formula parsing (recursive descent)
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<iff><->)|(?P<implies>->)|(?P<or>\|)|(?P<and>&)"
+    r"|(?P<not>~|¬|\bnot\b)|(?P<lpar>\()|(?P<rpar>\))"
+    r"|(?P<true>\btrue\b)|(?P<false>\bfalse\b)"
+    r"|(?P<atom>[a-zA-Z_][a-zA-Z0-9_]*(\([a-zA-Z0-9_,\s]*\))?))"
+)
+
+
+class _FormulaParser:
+    """Recursive-descent parser for the formula grammar."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = self._tokenize(text)
+        self.index = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> List[Tuple[str, str]]:
+        tokens: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                remainder = text[position:].strip()
+                if not remainder:
+                    break
+                raise ParseError(
+                    f"unexpected character {remainder[0]!r}", text, position
+                )
+            kind = match.lastgroup
+            # lastgroup may name an inner group of the atom pattern; pick
+            # the first named group that actually matched.
+            for name in (
+                "iff", "implies", "or", "and", "not",
+                "lpar", "rpar", "true", "false", "atom",
+            ):
+                if match.group(name) is not None:
+                    kind = name
+                    break
+            tokens.append((kind, match.group(0).strip()))
+            position = match.end()
+        return tokens
+
+    def _peek(self) -> "Optional[str]":
+        if self.index < len(self.tokens):
+            return self.tokens[self.index][0]
+        return None
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> Tuple[str, str]:
+        if self._peek() != kind:
+            found = self._peek() or "end of input"
+            raise ParseError(f"expected {kind}, found {found}", self.text)
+        return self._advance()
+
+    # grammar: iff := implies ('<->' implies)*
+    def parse(self) -> Formula:
+        formula = self._parse_iff()
+        if self._peek() is not None:
+            raise ParseError(
+                f"trailing tokens from {self.tokens[self.index][1]!r}", self.text
+            )
+        return formula
+
+    def _parse_iff(self) -> Formula:
+        left = self._parse_implies()
+        while self._peek() == "iff":
+            self._advance()
+            right = self._parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def _parse_implies(self) -> Formula:
+        left = self._parse_or()
+        if self._peek() == "implies":
+            self._advance()
+            right = self._parse_implies()  # right-associative
+            return Implies(left, right)
+        return left
+
+    def _parse_or(self) -> Formula:
+        parts = [self._parse_and()]
+        while self._peek() == "or":
+            self._advance()
+            parts.append(self._parse_and())
+        return parts[0] if len(parts) == 1 else Or(*parts)
+
+    def _parse_and(self) -> Formula:
+        parts = [self._parse_unary()]
+        while self._peek() == "and":
+            self._advance()
+            parts.append(self._parse_unary())
+        return parts[0] if len(parts) == 1 else And(*parts)
+
+    def _parse_unary(self) -> Formula:
+        kind = self._peek()
+        if kind == "not":
+            self._advance()
+            return Not(self._parse_unary())
+        if kind == "lpar":
+            self._advance()
+            inner = self._parse_iff()
+            self._expect("rpar")
+            return inner
+        if kind == "true":
+            self._advance()
+            return TOP
+        if kind == "false":
+            self._advance()
+            return BOTTOM
+        if kind == "atom":
+            _, text = self._advance()
+            return Var(text)
+        found = kind or "end of input"
+        raise ParseError(f"expected a formula, found {found}", self.text)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a propositional formula from its surface syntax."""
+    if not text.strip():
+        raise ParseError("empty formula", text)
+    return _FormulaParser(text).parse()

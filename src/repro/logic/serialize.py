@@ -1,0 +1,133 @@
+"""JSON-friendly (de)serialization of databases and formulas.
+
+Plain-dict representations for tooling (caching instances, shipping
+workloads to other processes, storing regression fixtures).  Round-trips
+exactly: ``database_from_dict(database_to_dict(db)) == db``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import ParseError
+from .clause import Clause
+from .database import DisjunctiveDatabase
+from .formula import (
+    BOTTOM,
+    TOP,
+    And,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+
+
+def clause_to_dict(clause: Clause) -> Dict[str, List[str]]:
+    """A clause as ``{"head": [...], "pos": [...], "neg": [...]}``."""
+    return {
+        "head": sorted(clause.head),
+        "pos": sorted(clause.body_pos),
+        "neg": sorted(clause.body_neg),
+    }
+
+
+def clause_from_dict(data: Dict[str, Any]) -> Clause:
+    """Inverse of :func:`clause_to_dict` (missing keys = empty)."""
+    return Clause(
+        frozenset(data.get("head", ())),
+        frozenset(data.get("pos", ())),
+        frozenset(data.get("neg", ())),
+    )
+
+
+def database_to_dict(db: DisjunctiveDatabase) -> Dict[str, Any]:
+    """A database as ``{"vocabulary": [...], "clauses": [...]}``."""
+    return {
+        "vocabulary": sorted(db.vocabulary),
+        "clauses": [clause_to_dict(c) for c in db],
+    }
+
+
+def database_from_dict(data: Dict[str, Any]) -> DisjunctiveDatabase:
+    """Inverse of :func:`database_to_dict`."""
+    return DisjunctiveDatabase(
+        [clause_from_dict(c) for c in data.get("clauses", ())],
+        data.get("vocabulary"),
+    )
+
+
+_FORMULA_TAGS = {
+    "var", "not", "and", "or", "implies", "iff", "true", "false",
+}
+
+
+def formula_to_dict(formula: Formula) -> Dict[str, Any]:
+    """A formula AST as nested tagged dicts."""
+    if isinstance(formula, Top):
+        return {"op": "true"}
+    if isinstance(formula, Bottom):
+        return {"op": "false"}
+    if isinstance(formula, Var):
+        return {"op": "var", "name": formula.name}
+    if isinstance(formula, Not):
+        return {"op": "not", "arg": formula_to_dict(formula.operand)}
+    if isinstance(formula, And):
+        return {
+            "op": "and",
+            "args": [formula_to_dict(f) for f in formula.operands],
+        }
+    if isinstance(formula, Or):
+        return {
+            "op": "or",
+            "args": [formula_to_dict(f) for f in formula.operands],
+        }
+    if isinstance(formula, Implies):
+        return {
+            "op": "implies",
+            "args": [
+                formula_to_dict(formula.antecedent),
+                formula_to_dict(formula.consequent),
+            ],
+        }
+    if isinstance(formula, Iff):
+        return {
+            "op": "iff",
+            "args": [
+                formula_to_dict(formula.left),
+                formula_to_dict(formula.right),
+            ],
+        }
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def formula_from_dict(data: Dict[str, Any]) -> Formula:
+    """Inverse of :func:`formula_to_dict` (validates tags)."""
+    tag = data.get("op")
+    if tag not in _FORMULA_TAGS:
+        raise ParseError(f"unknown formula tag {tag!r}")
+    if tag == "true":
+        return TOP
+    if tag == "false":
+        return BOTTOM
+    if tag == "var":
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            raise ParseError("var node needs a nonempty 'name'")
+        return Var(name)
+    if tag == "not":
+        return Not(formula_from_dict(data["arg"]))
+    args = [formula_from_dict(a) for a in data.get("args", ())]
+    if tag == "and":
+        return And(*args)
+    if tag == "or":
+        return Or(*args)
+    if len(args) != 2:
+        raise ParseError(f"{tag} node needs exactly two args")
+    if tag == "implies":
+        return Implies(args[0], args[1])
+    return Iff(args[0], args[1])

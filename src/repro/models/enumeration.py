@@ -1,0 +1,106 @@
+"""Brute-force model theory.
+
+Explicit-enumeration implementations of every model-selection notion used
+by the paper.  They are exponential in ``|V|`` by construction and serve
+as *ground truth* for the oracle-backed engines in the test suite, and as
+the reference semantics for small worked examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..logic.database import DisjunctiveDatabase
+from ..logic.interpretation import Interpretation, all_interpretations
+
+
+def all_models(db: DisjunctiveDatabase) -> List[Interpretation]:
+    """``M(DB)`` — every classical model, by explicit enumeration."""
+    return [m for m in all_interpretations(db.vocabulary) if db.is_model(m)]
+
+
+def minimal_models_brute(db: DisjunctiveDatabase) -> List[Interpretation]:
+    """``MM(DB)`` — subset-minimal models, by pairwise comparison."""
+    models = all_models(db)
+    return [
+        m
+        for m in models
+        if not any(other < m for other in models)
+    ]
+
+
+def pz_preferred(
+    n: Interpretation,
+    m: Interpretation,
+    p: FrozenSet[str],
+    q: FrozenSet[str],
+) -> bool:
+    """``N <_{P;Z} M``: same ``Q`` part, strictly smaller ``P`` part."""
+    if (n & q) != (m & q):
+        return False
+    return (n & p) < (m & p)
+
+
+def pz_minimal_models_brute(
+    db: DisjunctiveDatabase, p: Iterable[str], z: Iterable[str]
+) -> List[Interpretation]:
+    """``MM(DB; P; Z)`` by explicit enumeration."""
+    p = frozenset(p)
+    z = frozenset(z)
+    q = frozenset(db.vocabulary) - p - z
+    db.check_partition(p, q, z)
+    models = all_models(db)
+    return [
+        m
+        for m in models
+        if not any(pz_preferred(n, m, p, q) for n in models)
+    ]
+
+
+def lex_preferred(
+    n: Interpretation,
+    m: Interpretation,
+    levels: Sequence[FrozenSet[str]],
+    q: FrozenSet[str],
+) -> bool:
+    """``N <_{P1>...>Pr;Z} M`` (lexicographic by priority level)."""
+    if (n & q) != (m & q):
+        return False
+    for level in levels:
+        n_part, m_part = n & level, m & level
+        if n_part == m_part:
+            continue
+        return n_part < m_part
+    return False
+
+
+def prioritized_minimal_models_brute(
+    db: DisjunctiveDatabase,
+    levels: Sequence[Iterable[str]],
+    z: Iterable[str] = (),
+) -> List[Interpretation]:
+    """Lexicographically minimal models by explicit enumeration."""
+    level_sets = [frozenset(level) for level in levels]
+    z = frozenset(z)
+    q = (
+        frozenset(db.vocabulary)
+        - frozenset(itertools.chain.from_iterable(level_sets))
+        - z
+    )
+    models = all_models(db)
+    return [
+        m
+        for m in models
+        if not any(lex_preferred(n, m, level_sets, q) for n in models)
+    ]
+
+
+def models_entail_brute(models: Iterable[Interpretation], formula) -> bool:
+    """Whether a formula holds in every model of an explicit model set.
+
+    By the convention standard for these semantics (and required for the
+    closure readings to coincide with the model-theoretic ones), an empty
+    model set entails everything.
+    """
+    return all(m.satisfies(formula) for m in models)

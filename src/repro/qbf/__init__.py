@@ -1,0 +1,35 @@
+"""2QBF: the package's Σ₂ᵖ oracle substrate.
+
+``∃X∀Y φ`` validity is the canonical Σ₂ᵖ-complete problem; the paper's
+hardness reductions start from it.  :func:`~repro.qbf.solver.solve_qbf2_cegar`
+decides it by counterexample-guided abstraction refinement over the SAT
+oracle; :func:`~repro.qbf.solver.solve_qbf2_brute` is the reference.
+"""
+
+from .formula import (
+    QBF2,
+    dnf_formula,
+    exists_forall,
+    forall_exists,
+    substitute,
+)
+from .solver import (
+    Qbf2Result,
+    is_valid,
+    solve_exists_forall_cegar,
+    solve_qbf2_brute,
+    solve_qbf2_cegar,
+)
+
+__all__ = [
+    "QBF2",
+    "dnf_formula",
+    "exists_forall",
+    "forall_exists",
+    "substitute",
+    "Qbf2Result",
+    "is_valid",
+    "solve_exists_forall_cegar",
+    "solve_qbf2_brute",
+    "solve_qbf2_cegar",
+]

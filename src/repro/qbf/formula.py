@@ -1,0 +1,157 @@
+"""2QBF formulas (one quantifier alternation).
+
+The paper's hardness results reduce from validity of quantified Boolean
+formulas with one alternation:
+
+* ``∃X ∀Y φ`` — the canonical Σ₂ᵖ-complete problem (``QBF2,∃``),
+* ``∀X ∃Y φ`` — the canonical Π₂ᵖ-complete problem.
+
+A :class:`QBF2` holds the two variable blocks and a propositional matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from ..errors import ReproError
+from ..logic.formula import (
+    BOTTOM,
+    TOP,
+    And,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+    conj,
+    disj,
+)
+
+
+def substitute(formula: Formula, mapping: Dict[str, bool]) -> Formula:
+    """Replace atoms by truth constants and simplify on the fly."""
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Var):
+        if formula.name in mapping:
+            return TOP if mapping[formula.name] else BOTTOM
+        return formula
+    if isinstance(formula, Not):
+        inner = substitute(formula.operand, mapping)
+        if isinstance(inner, Top):
+            return BOTTOM
+        if isinstance(inner, Bottom):
+            return TOP
+        return Not(inner)
+    if isinstance(formula, And):
+        parts = []
+        for op in formula.operands:
+            sub = substitute(op, mapping)
+            if isinstance(sub, Bottom):
+                return BOTTOM
+            if not isinstance(sub, Top):
+                parts.append(sub)
+        return conj(parts)
+    if isinstance(formula, Or):
+        parts = []
+        for op in formula.operands:
+            sub = substitute(op, mapping)
+            if isinstance(sub, Top):
+                return TOP
+            if not isinstance(sub, Bottom):
+                parts.append(sub)
+        return disj(parts)
+    if isinstance(formula, Implies):
+        return substitute(
+            Or(Not(formula.antecedent), formula.consequent), mapping
+        )
+    if isinstance(formula, Iff):
+        left = substitute(formula.left, mapping)
+        right = substitute(formula.right, mapping)
+        if isinstance(left, Top):
+            return right
+        if isinstance(left, Bottom):
+            return substitute(Not(right), {})
+        if isinstance(right, Top):
+            return left
+        if isinstance(right, Bottom):
+            return substitute(Not(left), {})
+        return Iff(left, right)
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+@dataclass(frozen=True)
+class QBF2:
+    """A 2QBF sentence ``Q1 X Q2 Y . matrix`` with ``Q1 ≠ Q2``.
+
+    Attributes:
+        exists_first: ``True`` for ``∃X ∀Y``, ``False`` for ``∀X ∃Y``.
+        x: the outer block.
+        y: the inner block.
+        matrix: the propositional matrix; its atoms must lie in ``x ∪ y``.
+    """
+
+    exists_first: bool
+    x: FrozenSet[str]
+    y: FrozenSet[str]
+    matrix: Formula
+
+    def __post_init__(self) -> None:
+        x = frozenset(self.x)
+        y = frozenset(self.y)
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+        if x & y:
+            raise ReproError(
+                "quantifier blocks overlap: " + ", ".join(sorted(x & y))
+            )
+        stray = self.matrix.atoms() - x - y
+        if stray:
+            raise ReproError(
+                "matrix atoms outside both blocks: " + ", ".join(sorted(stray))
+            )
+
+    def negated(self) -> "QBF2":
+        """``¬(Q1 X Q2 Y φ) = Q1' X Q2' Y ¬φ`` with flipped quantifiers."""
+        return QBF2(not self.exists_first, self.x, self.y, Not(self.matrix))
+
+    def __str__(self) -> str:
+        q1, q2 = ("exists", "forall") if self.exists_first else (
+            "forall",
+            "exists",
+        )
+        xs = ",".join(sorted(self.x)) or "-"
+        ys = ",".join(sorted(self.y)) or "-"
+        return f"{q1} {xs} {q2} {ys} . {self.matrix}"
+
+
+def exists_forall(
+    x: Iterable[str], y: Iterable[str], matrix: Formula
+) -> QBF2:
+    """``∃X ∀Y . matrix`` (validity is Σ₂ᵖ-complete)."""
+    return QBF2(True, frozenset(x), frozenset(y), matrix)
+
+
+def forall_exists(
+    x: Iterable[str], y: Iterable[str], matrix: Formula
+) -> QBF2:
+    """``∀X ∃Y . matrix`` (validity is Π₂ᵖ-complete)."""
+    return QBF2(False, frozenset(x), frozenset(y), matrix)
+
+
+def dnf_formula(terms: Iterable[Tuple[Iterable[str], Iterable[str]]]) -> Formula:
+    """Build a DNF formula from ``(positive_atoms, negative_atoms)`` terms.
+
+    The classical Σ₂ᵖ-complete problem uses matrices in 3DNF; the
+    generators and reductions construct them through this helper.
+    """
+    disjuncts = []
+    for positive, negative in terms:
+        literals = [Var(a) for a in positive]
+        literals += [Not(Var(a)) for a in negative]
+        disjuncts.append(conj(literals))
+    return disj(disjuncts)

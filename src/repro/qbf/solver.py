@@ -1,0 +1,135 @@
+"""Deciding 2QBF validity.
+
+Two engines:
+
+* :func:`solve_qbf2_brute` — enumerate the outer block, one SAT call per
+  assignment for the inner block.  Ground truth for tests.
+* :func:`solve_qbf2_cegar` — counterexample-guided abstraction refinement
+  (the standard 2QBF algorithm): a SAT solver proposes outer assignments,
+  a second SAT solver refutes them, and every refutation strengthens the
+  abstraction.  This is the package's Σ₂ᵖ oracle engine.
+
+Both return a :class:`Qbf2Result` carrying the verdict, a witness for the
+outer block when one exists, and the number of SAT (NP-oracle) calls made.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..logic.formula import Formula, Not
+from ..sat.solver import SatSolver
+from .formula import QBF2, substitute
+
+
+@dataclass
+class Qbf2Result:
+    """Outcome of a 2QBF validity check.
+
+    Attributes:
+        valid: the verdict.
+        witness: for a valid ``∃X∀Y`` (or an invalid ``∀X∃Y``), an outer
+            assignment proving it, as ``{atom: bool}``; otherwise ``None``.
+        sat_calls: NP-oracle calls spent.
+    """
+
+    valid: bool
+    witness: Optional[Dict[str, bool]]
+    sat_calls: int
+
+
+def _counterexample(
+    matrix: Formula, outer: Dict[str, bool], inner_atoms
+) -> "tuple[Optional[Dict[str, bool]], int]":
+    """An inner assignment falsifying ``matrix`` under ``outer``, if any.
+
+    Returns ``(assignment_or_None, sat_calls)``.
+    """
+    reduced = substitute(matrix, outer)
+    solver = SatSolver()
+    for atom in sorted(inner_atoms):
+        solver.variables.intern(atom)
+    solver.add_formula(Not(reduced))
+    if not solver.solve():
+        return None, 1
+    model = solver.model(restrict_to=inner_atoms)
+    return {atom: atom in model for atom in inner_atoms}, 1
+
+
+def solve_exists_forall_cegar(qbf: QBF2) -> Qbf2Result:
+    """CEGAR decision for ``∃X ∀Y φ``."""
+    assert qbf.exists_first
+    x_atoms = sorted(qbf.x)
+    y_atoms = sorted(qbf.y)
+    abstraction = SatSolver()
+    for atom in x_atoms:
+        abstraction.variables.intern(atom)
+    sat_calls = 0
+    while True:
+        sat_calls += 1
+        if not abstraction.solve():
+            return Qbf2Result(False, None, sat_calls)
+        model = abstraction.model(restrict_to=x_atoms)
+        outer = {atom: atom in model for atom in x_atoms}
+        counterexample, calls = _counterexample(qbf.matrix, outer, y_atoms)
+        sat_calls += calls
+        if counterexample is None:
+            return Qbf2Result(True, outer, sat_calls)
+        # Refine: under this Y-counterexample the matrix must still hold,
+        # i.e. add φ[Y := ŷ] as a constraint over X.
+        refinement = substitute(qbf.matrix, counterexample)
+        abstraction.add_formula(refinement)
+
+
+def solve_qbf2_cegar(qbf: QBF2) -> Qbf2Result:
+    """CEGAR decision for either quantifier order."""
+    if qbf.exists_first:
+        return solve_exists_forall_cegar(qbf)
+    # ∀X∃Y φ is valid iff ∃X∀Y ¬φ is invalid.
+    dual = QBF2(True, qbf.x, qbf.y, Not(qbf.matrix))
+    result = solve_exists_forall_cegar(dual)
+    witness = result.witness if result.valid else None
+    return Qbf2Result(not result.valid, witness, result.sat_calls)
+
+
+def solve_qbf2_brute(qbf: QBF2) -> Qbf2Result:
+    """Brute-force decision: enumerate the outer block explicitly.
+
+    For ``∃X∀Y`` the inner check is validity of the reduced matrix; for
+    ``∀X∃Y`` it is satisfiability.
+    """
+    x_atoms = sorted(qbf.x)
+    y_atoms = sorted(qbf.y)
+    sat_calls = 0
+    for bits in itertools.product((False, True), repeat=len(x_atoms)):
+        outer = dict(zip(x_atoms, bits))
+        if qbf.exists_first:
+            counterexample, calls = _counterexample(
+                qbf.matrix, outer, y_atoms
+            )
+            sat_calls += calls
+            if counterexample is None:  # ∀Y holds under this outer guess
+                return Qbf2Result(True, outer, sat_calls)
+        else:
+            reduced = substitute(qbf.matrix, outer)
+            inner_solver = SatSolver()
+            for atom in y_atoms:
+                inner_solver.variables.intern(atom)
+            inner_solver.add_formula(reduced)
+            sat_calls += 1
+            if not inner_solver.solve():  # no ∃Y for this outer choice
+                return Qbf2Result(False, outer, sat_calls)
+    if qbf.exists_first:
+        return Qbf2Result(False, None, sat_calls)
+    return Qbf2Result(True, None, sat_calls)
+
+
+def is_valid(qbf: QBF2, engine: str = "cegar") -> bool:
+    """Validity of a 2QBF sentence."""
+    if engine == "cegar":
+        return solve_qbf2_cegar(qbf).valid
+    if engine == "brute":
+        return solve_qbf2_brute(qbf).valid
+    raise ValueError(f"unknown QBF engine {engine!r}")

@@ -1,0 +1,69 @@
+"""SAT solving substrate: the package's NP oracle.
+
+* :class:`~repro.sat.cdcl.CdclSolver` — integer-level CDCL core.
+* :class:`~repro.sat.solver.SatSolver` — symbolic facade over named atoms.
+* :mod:`repro.sat.enumerate` — (projected) model enumeration.
+* :mod:`repro.sat.minimal` — minimal-model machinery (``MM(DB)``,
+  ``MM(DB;P;Z)``, prioritized minimality).
+* :mod:`repro.sat.dpll` — reference DPLL solver for cross-validation.
+"""
+
+from .cdcl import CdclSolver, luby
+from .dpll import solve_dpll
+from .enumerate import blocking_clause, count_models, iter_models
+from .minimal import (
+    MinimalModelSolver,
+    PrioritizedMinimalModelSolver,
+    PZMinimalModelSolver,
+    find_minimal_model,
+    is_minimal_model,
+    minimal_models,
+)
+from .simplify import (
+    SimplificationResult,
+    eliminate_pure_literals,
+    pure_literals,
+    remove_subsumed,
+    self_subsume,
+    simplify_cnf,
+    unit_propagate,
+)
+from .solver import (
+    SatSolver,
+    database_is_consistent,
+    entails_classically,
+    find_model,
+    formula_is_valid,
+    is_satisfiable,
+)
+from .types import SolverStats, VariableMap
+
+__all__ = [
+    "CdclSolver",
+    "luby",
+    "solve_dpll",
+    "blocking_clause",
+    "count_models",
+    "iter_models",
+    "MinimalModelSolver",
+    "PrioritizedMinimalModelSolver",
+    "PZMinimalModelSolver",
+    "find_minimal_model",
+    "is_minimal_model",
+    "minimal_models",
+    "SimplificationResult",
+    "eliminate_pure_literals",
+    "pure_literals",
+    "remove_subsumed",
+    "self_subsume",
+    "simplify_cnf",
+    "unit_propagate",
+    "SatSolver",
+    "database_is_consistent",
+    "entails_classically",
+    "find_model",
+    "formula_is_valid",
+    "is_satisfiable",
+    "SolverStats",
+    "VariableMap",
+]

@@ -1,0 +1,114 @@
+"""A plain DPLL solver.
+
+Kept deliberately simple: unit propagation, pure-literal elimination, and
+chronological backtracking on the first unassigned variable.  It serves as
+the *reference* solver against which the CDCL solver is cross-validated in
+the test suite, and as the baseline in the solver ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .types import check_int_clause, clause_is_tautology
+
+
+def solve_dpll(
+    clauses: Iterable[Sequence[int]], use_pure_literals: bool = True
+) -> Optional[Set[int]]:
+    """Decide satisfiability of integer CNF ``clauses``.
+
+    Returns a model as the set of true variables (unmentioned variables
+    are false), or ``None`` when unsatisfiable.
+    """
+    normalized: List[List[int]] = []
+    variables: Set[int] = set()
+    for clause in clauses:
+        checked = check_int_clause(clause)
+        if clause_is_tautology(checked):
+            continue
+        if not checked:
+            return None
+        normalized.append(checked)
+        variables.update(abs(l) for l in checked)
+
+    assignment: Dict[int, bool] = {}
+    result = _search(normalized, assignment, use_pure_literals)
+    if result is None:
+        return None
+    return {var for var, value in result.items() if value}
+
+
+def _simplify(
+    clauses: List[List[int]], assignment: Dict[int, bool]
+) -> Optional[List[List[int]]]:
+    """Apply the assignment; ``None`` signals an empty clause."""
+    simplified: List[List[int]] = []
+    for clause in clauses:
+        new_clause: List[int] = []
+        satisfied = False
+        for literal in clause:
+            var = abs(literal)
+            if var in assignment:
+                if assignment[var] == (literal > 0):
+                    satisfied = True
+                    break
+            else:
+                new_clause.append(literal)
+        if satisfied:
+            continue
+        if not new_clause:
+            return None
+        simplified.append(new_clause)
+    return simplified
+
+
+def _search(
+    clauses: List[List[int]],
+    assignment: Dict[int, bool],
+    use_pure_literals: bool,
+) -> Optional[Dict[int, bool]]:
+    clauses = _simplify(clauses, assignment)
+    if clauses is None:
+        return None
+
+    # Unit propagation to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            if len(clause) == 1:
+                literal = clause[0]
+                assignment[abs(literal)] = literal > 0
+                clauses = _simplify(clauses, assignment)
+                if clauses is None:
+                    return None
+                changed = True
+                break
+
+    if use_pure_literals:
+        polarity: Dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                var = abs(literal)
+                sign = 1 if literal > 0 else -1
+                polarity[var] = 0 if polarity.get(var, sign) != sign else sign
+        pures = [var * sign for var, sign in polarity.items() if sign != 0]
+        if pures:
+            for literal in pures:
+                assignment[abs(literal)] = literal > 0
+            clauses = _simplify(clauses, assignment)
+            if clauses is None:  # pragma: no cover - pure literals are safe
+                return None
+
+    if not clauses:
+        return dict(assignment)
+
+    branch_var = abs(clauses[0][0])
+    for value in (True, False):
+        trial = dict(assignment)
+        trial[branch_var] = value
+        result = _search(clauses, trial, use_pure_literals)
+        if result is not None:
+            return result
+    return None

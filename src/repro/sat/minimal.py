@@ -1,0 +1,582 @@
+"""Minimal-model machinery.
+
+Everything the paper's semantics need about minimal models, built on the
+SAT oracle:
+
+* ``MM(DB)`` — subset-minimal models (EGCWA, GCWA, DSM, ...);
+* ``MM(DB; P; Z)`` — minimal models with minimized atoms ``P``, fixed
+  atoms ``Q`` and floating atoms ``Z`` (CCWA, ECWA/CIRC):
+  ``N ≤_{P;Z} M`` iff ``N∩Q = M∩Q`` and ``N∩P ⊆ M∩P``;
+* prioritized (lexicographic) minimal models for ``P1 > P2 > ... > Pr; Z``
+  (ICWA / prioritized circumscription).
+
+The central Σ₂ᵖ *primitive* is :meth:`MinimalModelSolver.find_minimal_satisfying`
+— "is there a minimal model satisfying a side condition G?" — realized as
+candidate generation plus an NP (SAT) minimality check, exactly the
+guess-and-check structure of the paper's upper-bound proofs.
+
+Note on ``(P;Z)``-minimality: whether ``M`` is ``≤_{P;Z}``-minimal depends
+only on ``M ∩ (P ∪ Q)``, so checks and blocking work on that projection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import SolverError
+from ..logic.atoms import Literal
+from ..logic.cnf import Cnf
+from ..logic.database import DisjunctiveDatabase
+from ..logic.formula import Formula
+from ..logic.interpretation import Interpretation
+from .solver import SatSolver
+
+
+class MinimalModelSolver:
+    """Minimal-model queries against a fixed database (plus optional extra
+    CNF constraints that *count as part of the theory* for minimality).
+
+    Args:
+        db: the database.
+        extra_cnf: additional clauses conjoined to the theory.
+        universe: the atom set over which subset-minimality is taken;
+            defaults to the database vocabulary.
+        engine: SAT engine for all queries.
+    """
+
+    def __init__(
+        self,
+        db: DisjunctiveDatabase,
+        extra_cnf: Optional[Cnf] = None,
+        universe: Optional[Iterable[str]] = None,
+        engine: str = "cdcl",
+    ):
+        self.db = db
+        self.engine = engine
+        self.universe: Tuple[str, ...] = tuple(
+            sorted(universe if universe is not None else db.vocabulary)
+        )
+        self._extra_cnf = list(extra_cnf) if extra_cnf else []
+        self._check_solver = SatSolver(engine=engine)
+        self._check_solver.add_database(db)
+        for clause in self._extra_cnf:
+            self._check_solver.add_clause(clause)
+        for atom in self.universe:
+            self._check_solver.variables.intern(atom)
+        self._selector_count = 0
+        self.sat_calls = 0
+
+    # ------------------------------------------------------------------
+    # Low-level: witness queries on the persistent check solver
+    # ------------------------------------------------------------------
+    def _fresh_selector(self) -> Literal:
+        while True:
+            name = f"__sel{self._selector_count}"
+            self._selector_count += 1
+            if name not in self._check_solver.variables:
+                return Literal.pos(name)
+
+    def _solve(self, assumptions: Sequence[Literal]) -> bool:
+        self.sat_calls += 1
+        return self._check_solver.solve(assumptions)
+
+    def witness_below(
+        self, model: Iterable[str], extra_false: Iterable[str] = ()
+    ) -> Optional[Interpretation]:
+        """A model ``N ⊊ M`` of the theory (over the universe), or ``None``.
+
+        ``extra_false`` atoms are additionally forced false (used by the
+        shrink loop to keep earlier exclusions).
+        """
+        true_atoms = frozenset(model) & frozenset(self.universe)
+        assumptions: List[Literal] = [
+            Literal.neg(a) for a in self.universe if a not in true_atoms
+        ]
+        assumptions += [Literal.neg(a) for a in extra_false]
+        if not true_atoms:
+            return None  # nothing below the empty model
+        selector = self._fresh_selector()
+        self._check_solver.add_clause(
+            [-selector] + [Literal.neg(a) for a in sorted(true_atoms)]
+        )
+        assumptions.append(selector)
+        satisfiable = self._solve(assumptions)
+        result = (
+            self._check_solver.model(restrict_to=self.universe)
+            if satisfiable
+            else None
+        )
+        # Permanently disable the selector so the clause becomes inert.
+        self._check_solver.add_clause([-selector])
+        return result
+
+    def is_minimal(self, model: Iterable[str]) -> bool:
+        """Whether ``model`` is a subset-minimal model of the theory.
+
+        One SAT (NP-oracle) call.  ``model`` must be a model of the
+        theory; minimality of non-models is not meaningful.
+        """
+        return self.witness_below(model) is None
+
+    def shrink(self, model: Iterable[str]) -> Interpretation:
+        """Drive a model down to a subset-minimal one (the standard
+        shrink loop: repeatedly find a strictly smaller model)."""
+        current = Interpretation(frozenset(model) & frozenset(self.universe))
+        while True:
+            below = self.witness_below(current)
+            if below is None:
+                return current
+            current = below
+
+    # ------------------------------------------------------------------
+    # Finding / enumerating minimal models
+    # ------------------------------------------------------------------
+    def find_minimal(self) -> Optional[Interpretation]:
+        """Some minimal model of the theory, or ``None`` if inconsistent."""
+        if not self._solve([]):
+            return None
+        return self.shrink(self._check_solver.model(restrict_to=self.universe))
+
+    def iter_minimal_models(
+        self, max_models: Optional[int] = None
+    ) -> Iterator[Interpretation]:
+        """Enumerate all subset-minimal models.
+
+        Uses the superset-blocking strategy: after reporting a minimal
+        model ``M``, the clause ``∨_{x∈M} ¬x`` (falsified exactly by the
+        supersets of ``M``) is added.  Distinct minimal models are
+        incomparable, so none is lost, and any model of the blocked theory
+        shrinks to a minimal model of the *original* theory.
+        """
+        blocker = SatSolver(engine=self.engine)
+        blocker.add_database(self.db)
+        for clause in self._extra_cnf:
+            blocker.add_clause(clause)
+        for atom in self.universe:
+            blocker.variables.intern(atom)
+        produced = 0
+        while max_models is None or produced < max_models:
+            self.sat_calls += 1
+            if not blocker.solve():
+                return
+            candidate = blocker.model(restrict_to=self.universe)
+            minimal = self.shrink(candidate)
+            yield minimal
+            produced += 1
+            if not minimal:
+                return  # the empty model is the unique minimal model
+            blocker.add_clause([Literal.neg(a) for a in sorted(minimal)])
+
+    # ------------------------------------------------------------------
+    # The Σ₂ᵖ primitive: ∃ minimal model satisfying a side condition
+    # ------------------------------------------------------------------
+    def find_minimal_satisfying(
+        self, condition: Formula, max_candidates: Optional[int] = None
+    ) -> Optional[Interpretation]:
+        """A subset-minimal model of the theory that satisfies
+        ``condition``, or ``None``.
+
+        ``condition`` may mention atoms outside the universe; they are
+        treated as existentially quantified helpers (they do not take part
+        in minimization).
+
+        Algorithm: search models of ``theory ∧ condition``; greedily
+        shrink *within* ``theory ∧ condition`` so candidates are few; test
+        each candidate for minimality w.r.t. the *theory alone* (NP
+        oracle); block the universe-projection of failed candidates.
+        """
+        searcher = SatSolver(engine=self.engine)
+        searcher.add_database(self.db)
+        for clause in self._extra_cnf:
+            searcher.add_clause(clause)
+        for atom in self.universe:
+            searcher.variables.intern(atom)
+        searcher.add_formula(condition)
+        tried = 0
+        while max_candidates is None or tried < max_candidates:
+            self.sat_calls += 1
+            if not searcher.solve():
+                return None
+            candidate = searcher.model(restrict_to=self.universe)
+            # Shrink within theory ∧ condition to reduce candidate count.
+            candidate = _shrink_in(searcher, candidate, self.universe, self)
+            tried += 1
+            if self.is_minimal(candidate):
+                return candidate
+            block = [Literal.neg(a) for a in sorted(candidate)]
+            block += [
+                Literal.pos(a) for a in self.universe if a not in candidate
+            ]
+            searcher.add_clause(block)
+        raise SolverError(
+            f"candidate budget {max_candidates} exhausted in "
+            "find_minimal_satisfying"
+        )
+
+    def entails(self, formula: Formula) -> bool:
+        """Minimal-model entailment ``MM(theory) |= formula``.
+
+        This is the Π₂ᵖ problem at the heart of GCWA/EGCWA/ECWA inference:
+        true iff *no* minimal model satisfies ``¬formula``.
+        """
+        from ..logic.formula import Not
+
+        return self.find_minimal_satisfying(Not(formula)) is None
+
+
+def _shrink_in(
+    solver: SatSolver,
+    model: Interpretation,
+    universe: Sequence[str],
+    counter: MinimalModelSolver,
+) -> Interpretation:
+    """Shrink ``model`` to a subset-minimal model of the theory held by
+    ``solver`` (which may include side conditions), counting SAT calls on
+    ``counter``."""
+    current = model
+    while True:
+        if not current:
+            return current
+        true_atoms = sorted(current)
+        selector_name = f"__shr{counter._selector_count}"
+        counter._selector_count += 1
+        selector = Literal.pos(selector_name)
+        solver.add_clause([-selector] + [Literal.neg(a) for a in true_atoms])
+        assumptions = [selector] + [
+            Literal.neg(a) for a in universe if a not in current
+        ]
+        counter.sat_calls += 1
+        satisfiable = solver.solve(assumptions)
+        if satisfiable:
+            smaller = solver.model(restrict_to=universe)
+        solver.add_clause([-selector])
+        if not satisfiable:
+            return current
+        current = smaller
+
+
+# ----------------------------------------------------------------------
+# (P; Z)-minimality  (CCWA, ECWA / circumscription)
+# ----------------------------------------------------------------------
+class PZMinimalModelSolver:
+    """Queries about ``MM(DB; P; Z)``.
+
+    The partition is ``(P; Q; Z)`` with ``Q`` implied as the rest of the
+    vocabulary: ``P`` minimized, ``Q`` fixed, ``Z`` floating.
+    """
+
+    def __init__(
+        self,
+        db: DisjunctiveDatabase,
+        p: Iterable[str],
+        z: Iterable[str],
+        engine: str = "cdcl",
+    ):
+        self.db = db
+        self.engine = engine
+        self.p = frozenset(p)
+        self.z = frozenset(z)
+        self.q = frozenset(db.vocabulary) - self.p - self.z
+        db.check_partition(self.p, self.q, self.z)
+        self._check_solver = SatSolver(engine=engine)
+        self._check_solver.add_database(db)
+        self._selector_count = 0
+        self.sat_calls = 0
+
+    def _fresh_selector(self) -> Literal:
+        name = f"__pzsel{self._selector_count}"
+        self._selector_count += 1
+        return Literal.pos(name)
+
+    def witness_below(self, model: Iterable[str]) -> Optional[Interpretation]:
+        """A model ``N <_{P;Z} M``, or ``None``.  Depends only on
+        ``M ∩ (P ∪ Q)``."""
+        true_atoms = frozenset(model)
+        assumptions: List[Literal] = []
+        # Fix Q to agree with M.
+        for atom in sorted(self.q):
+            if atom in true_atoms:
+                assumptions.append(Literal.pos(atom))
+            else:
+                assumptions.append(Literal.neg(atom))
+        # P must be a subset of M ∩ P ...
+        p_true = sorted(self.p & true_atoms)
+        for atom in sorted(self.p - true_atoms):
+            assumptions.append(Literal.neg(atom))
+        # ... and a strict one.
+        if not p_true:
+            return None
+        selector = self._fresh_selector()
+        self._check_solver.add_clause(
+            [-selector] + [Literal.neg(a) for a in p_true]
+        )
+        assumptions.append(selector)
+        self.sat_calls += 1
+        satisfiable = self._check_solver.solve(assumptions)
+        result = (
+            self._check_solver.model(restrict_to=self.db.vocabulary)
+            if satisfiable
+            else None
+        )
+        self._check_solver.add_clause([-selector])
+        return result
+
+    def is_minimal(self, model: Iterable[str]) -> bool:
+        """Whether ``model ∈ MM(DB; P; Z)`` (one SAT call)."""
+        return self.witness_below(model) is None
+
+    def shrink(self, model: Iterable[str]) -> Interpretation:
+        """Descend ``≤_{P;Z}`` from ``model`` to a ``(P;Z)``-minimal model."""
+        current = Interpretation(model)
+        while True:
+            below = self.witness_below(current)
+            if below is None:
+                return current
+            current = below
+
+    def find_minimal_satisfying(
+        self, condition: Formula, max_candidates: Optional[int] = None
+    ) -> Optional[Interpretation]:
+        """A ``(P;Z)``-minimal model of DB satisfying ``condition``, or
+        ``None``.  Candidate generation + NP minimality check; failed
+        candidates are blocked on their ``P ∪ Q`` projection (minimality
+        depends only on that projection, but the condition does not — so a
+        failed candidate's projection can be blocked only for minimality
+        reasons, which is exactly when we block)."""
+        searcher = SatSolver(engine=self.engine)
+        searcher.add_database(self.db)
+        searcher.add_formula(condition)
+        pq = sorted(self.p | self.q)
+        tried = 0
+        while max_candidates is None or tried < max_candidates:
+            self.sat_calls += 1
+            if not searcher.solve():
+                return None
+            candidate = searcher.model(restrict_to=self.db.vocabulary)
+            tried += 1
+            if self.is_minimal(candidate):
+                return candidate
+            block = [
+                Literal.neg(a) if a in candidate else Literal.pos(a)
+                for a in pq
+            ]
+            searcher.add_clause(block)
+        raise SolverError(
+            f"candidate budget {max_candidates} exhausted in "
+            "PZ find_minimal_satisfying"
+        )
+
+    def entails(self, formula: Formula) -> bool:
+        """``MM(DB; P; Z) |= formula`` (Π₂ᵖ)."""
+        from ..logic.formula import Not
+
+        return self.find_minimal_satisfying(Not(formula)) is None
+
+    def iter_minimal_models(
+        self, max_models: Optional[int] = None
+    ) -> Iterator[Interpretation]:
+        """Enumerate ``MM(DB; P; Z)``.
+
+        Distinct minimal models may share their ``P ∪ Q`` projection only
+        by differing on ``Z``; all such ``Z``-variants are minimal
+        together.  We enumerate models, check minimality of each new
+        ``P ∪ Q`` projection once, and emit every model of accepted
+        projections.
+        """
+        searcher = SatSolver(engine=self.engine)
+        searcher.add_database(self.db)
+        pq = sorted(self.p | self.q)
+        produced = 0
+        while True:
+            self.sat_calls += 1
+            if not searcher.solve():
+                return
+            candidate = searcher.model(restrict_to=self.db.vocabulary)
+            projection = frozenset(candidate) & frozenset(pq)
+            if self.is_minimal(candidate):
+                # Emit all Z-extensions of this projection that are models.
+                base = [
+                    Literal.pos(a) if a in projection else Literal.neg(a)
+                    for a in pq
+                ]
+                extension_solver = SatSolver(engine=self.engine)
+                extension_solver.add_database(self.db)
+                while True:
+                    self.sat_calls += 1
+                    if not extension_solver.solve(base):
+                        break
+                    model = extension_solver.model(
+                        restrict_to=self.db.vocabulary
+                    )
+                    yield model
+                    produced += 1
+                    if max_models is not None and produced >= max_models:
+                        return
+                    extension_solver.add_clause(
+                        [
+                            Literal.neg(a) if a in model else Literal.pos(a)
+                            for a in sorted(self.db.vocabulary)
+                        ]
+                    )
+            block = [
+                Literal.neg(a) if a in projection else Literal.pos(a)
+                for a in pq
+            ]
+            searcher.add_clause(block)
+
+
+# ----------------------------------------------------------------------
+# Prioritized (lexicographic) minimality  (ICWA / prioritized CIRC)
+# ----------------------------------------------------------------------
+class PrioritizedMinimalModelSolver:
+    """Queries about lexicographically minimal models for priority levels
+    ``P1 > P2 > ... > Pr`` with floating atoms ``Z`` (and ``Q`` the fixed
+    remainder of the vocabulary).
+
+    ``N <_{P1>..>Pr;Z} M`` iff ``N∩Q = M∩Q`` and there is a level ``i``
+    with ``N∩Pj = M∩Pj`` for all ``j < i`` and ``N∩Pi ⊊ M∩Pi``.
+    """
+
+    def __init__(
+        self,
+        db: DisjunctiveDatabase,
+        levels: Sequence[Iterable[str]],
+        z: Iterable[str] = (),
+        engine: str = "cdcl",
+    ):
+        self.db = db
+        self.engine = engine
+        self.levels: List[frozenset] = [frozenset(level) for level in levels]
+        self.z = frozenset(z)
+        flat = frozenset(itertools.chain.from_iterable(self.levels))
+        if sum(len(level) for level in self.levels) != len(flat):
+            raise SolverError("priority levels overlap")
+        if flat & self.z:
+            raise SolverError("priority levels overlap with Z")
+        self.q = frozenset(db.vocabulary) - flat - self.z
+        self._check_solver = SatSolver(engine=engine)
+        self._check_solver.add_database(db)
+        self._selector_count = 0
+        self.sat_calls = 0
+
+    def witness_below(self, model: Iterable[str]) -> Optional[Interpretation]:
+        """A model lexicographically below ``model``, or ``None``.
+        Implemented as one SAT call per priority level."""
+        true_atoms = frozenset(model)
+        base: List[Literal] = []
+        for atom in sorted(self.q):
+            base.append(
+                Literal.pos(atom) if atom in true_atoms else Literal.neg(atom)
+            )
+        for index, level in enumerate(self.levels):
+            assumptions = list(base)
+            # Levels above i agree with M exactly.
+            for higher in self.levels[:index]:
+                for atom in sorted(higher):
+                    assumptions.append(
+                        Literal.pos(atom)
+                        if atom in true_atoms
+                        else Literal.neg(atom)
+                    )
+            # Level i: strict subset.
+            level_true = sorted(level & true_atoms)
+            for atom in sorted(level - true_atoms):
+                assumptions.append(Literal.neg(atom))
+            if not level_true:
+                continue
+            selector = Literal.pos(f"__prsel{self._selector_count}")
+            self._selector_count += 1
+            self._check_solver.add_clause(
+                [-selector] + [Literal.neg(a) for a in level_true]
+            )
+            assumptions.append(selector)
+            self.sat_calls += 1
+            satisfiable = self._check_solver.solve(assumptions)
+            result = (
+                self._check_solver.model(restrict_to=self.db.vocabulary)
+                if satisfiable
+                else None
+            )
+            self._check_solver.add_clause([-selector])
+            if result is not None:
+                return result
+        return None
+
+    def is_minimal(self, model: Iterable[str]) -> bool:
+        """Whether ``model`` is lexicographically minimal."""
+        return self.witness_below(model) is None
+
+    def shrink(self, model: Iterable[str]) -> Interpretation:
+        """Descend the lexicographic order to a minimal model."""
+        current = Interpretation(model)
+        while True:
+            below = self.witness_below(current)
+            if below is None:
+                return current
+            current = below
+
+    def find_minimal_satisfying(
+        self, condition: Formula, max_candidates: Optional[int] = None
+    ) -> Optional[Interpretation]:
+        """A prioritized-minimal model satisfying ``condition``, or ``None``."""
+        searcher = SatSolver(engine=self.engine)
+        searcher.add_database(self.db)
+        searcher.add_formula(condition)
+        visible = sorted(self.db.vocabulary - self.z)
+        tried = 0
+        while max_candidates is None or tried < max_candidates:
+            self.sat_calls += 1
+            if not searcher.solve():
+                return None
+            candidate = searcher.model(restrict_to=self.db.vocabulary)
+            tried += 1
+            if self.is_minimal(candidate):
+                return candidate
+            block = [
+                Literal.neg(a) if a in candidate else Literal.pos(a)
+                for a in visible
+            ]
+            searcher.add_clause(block)
+        raise SolverError(
+            f"candidate budget {max_candidates} exhausted in "
+            "prioritized find_minimal_satisfying"
+        )
+
+    def entails(self, formula: Formula) -> bool:
+        """Truth of ``formula`` in every prioritized-minimal model."""
+        from ..logic.formula import Not
+
+        return self.find_minimal_satisfying(Not(formula)) is None
+
+
+# ----------------------------------------------------------------------
+# Convenience functions
+# ----------------------------------------------------------------------
+def find_minimal_model(
+    db: DisjunctiveDatabase, engine: str = "cdcl"
+) -> Optional[Interpretation]:
+    """Some subset-minimal model of ``db`` or ``None`` if inconsistent."""
+    return MinimalModelSolver(db, engine=engine).find_minimal()
+
+
+def minimal_models(
+    db: DisjunctiveDatabase,
+    max_models: Optional[int] = None,
+    engine: str = "cdcl",
+) -> List[Interpretation]:
+    """All subset-minimal models ``MM(DB)`` (bounded by ``max_models``)."""
+    return list(
+        MinimalModelSolver(db, engine=engine).iter_minimal_models(max_models)
+    )
+
+
+def is_minimal_model(
+    db: DisjunctiveDatabase, model: Iterable[str], engine: str = "cdcl"
+) -> bool:
+    """Whether ``model`` is a minimal model of ``db`` (model-ness is also
+    verified)."""
+    model_set = frozenset(model)
+    if not db.is_model(model_set):
+        return False
+    return MinimalModelSolver(db, engine=engine).is_minimal(model_set)

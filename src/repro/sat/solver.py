@@ -1,0 +1,202 @@
+"""High-level SAT interface over named atoms.
+
+:class:`SatSolver` wraps the integer-level CDCL solver with the symbolic
+vocabulary of :mod:`repro.logic`: clauses are frozensets of
+:class:`~repro.logic.atoms.Literal`, models come back as
+:class:`~repro.logic.interpretation.Interpretation` objects, and databases
+and formulas can be asserted directly.
+
+A :class:`SatSolver` is incremental: clauses can be added between
+``solve`` calls and assumptions allow temporary constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import SolverError
+from ..logic.atoms import Literal
+from ..logic.clause import Clause
+from ..logic.cnf import Cnf, tseitin
+from ..logic.database import DisjunctiveDatabase
+from ..logic.formula import Formula
+from ..logic.interpretation import Interpretation
+from .cdcl import CdclSolver
+from .dpll import solve_dpll
+from .types import VariableMap
+
+
+class _GlobalCounter:
+    """Process-wide NP-oracle (SAT ``solve``) call counter.
+
+    Used by :mod:`repro.complexity.oracles` to profile how many NP-oracle
+    calls a decision procedure makes, no matter how deeply the solver
+    instances are nested.
+    """
+
+    __slots__ = ("calls",)
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+
+#: The counter instance; read/reset through repro.complexity.oracles.
+GLOBAL_SAT_CALLS = _GlobalCounter()
+
+
+class SatSolver:
+    """Incremental SAT solving over named atoms (the NP oracle).
+
+    Args:
+        max_conflicts: optional conflict budget forwarded to the CDCL core.
+        engine: ``"cdcl"`` (default) or ``"dpll"`` (reference; ignores
+            incrementality optimizations but honors the same interface).
+    """
+
+    def __init__(
+        self, max_conflicts: Optional[int] = None, engine: str = "cdcl"
+    ):
+        if engine not in ("cdcl", "dpll"):
+            raise SolverError(f"unknown engine {engine!r}")
+        self.engine = engine
+        self.variables = VariableMap()
+        self._core = CdclSolver(max_conflicts=max_conflicts)
+        self._clauses: List[List[int]] = []  # mirror for the DPLL engine
+        self._known_unsat = False
+        self._last_model: Optional[set] = None
+
+    # ------------------------------------------------------------------
+    # Assertions
+    # ------------------------------------------------------------------
+    def add_int_clause(self, literals: Iterable[int]) -> None:
+        """Assert a clause given as integer literals (advanced use)."""
+        clause = list(literals)
+        self._clauses.append(clause)
+        if not self._core.add_clause(clause):
+            self._known_unsat = True
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        """Assert a symbolic clause (a disjunction of literals)."""
+        self.add_int_clause(
+            self.variables.int_literal(l) for l in literals
+        )
+
+    def add_cnf(self, cnf: Cnf) -> None:
+        """Assert every clause of a symbolic CNF."""
+        for clause in cnf:
+            self.add_clause(clause)
+
+    def add_database(self, db: DisjunctiveDatabase) -> None:
+        """Assert the classical clause form of every database clause and
+        register the whole vocabulary (so models range over it)."""
+        for atom in sorted(db.vocabulary):
+            self.variables.intern(atom)
+            self._core.ensure_var(self.variables.number(atom))
+        for clause in db.clauses:
+            self.add_clause(clause.to_classical_literals())
+
+    def add_database_clause(self, clause: Clause) -> None:
+        """Assert one database clause."""
+        self.add_clause(clause.to_classical_literals())
+
+    def add_formula(self, formula: Formula, positive: bool = True) -> None:
+        """Assert ``formula`` (or its negation) via Tseitin encoding.
+
+        Fresh definition atoms are allocated away from all atoms known to
+        this solver.
+        """
+        clauses, root, _aux = tseitin(formula, avoid=self.variables.atoms())
+        self.add_cnf(clauses)
+        self.add_clause([root if positive else -root])
+
+    def add_unit(self, literal: Literal) -> None:
+        """Assert a single literal."""
+        self.add_clause([literal])
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Iterable[Literal] = ()) -> bool:
+        """Decide satisfiability under the given assumption literals."""
+        GLOBAL_SAT_CALLS.calls += 1
+        assumed = [self.variables.int_literal(l) for l in assumptions]
+        if self._known_unsat:
+            self._last_model = None
+            return False
+        if self.engine == "dpll":
+            unit_clauses = [[l] for l in assumed]
+            model = solve_dpll(self._clauses + unit_clauses)
+            self._last_model = model
+            return model is not None
+        satisfiable = self._core.solve(assumed)
+        self._last_model = self._core.model() if satisfiable else None
+        return satisfiable
+
+    def model(
+        self, restrict_to: Optional[Iterable[str]] = None
+    ) -> Interpretation:
+        """The model found by the last successful :meth:`solve`.
+
+        Args:
+            restrict_to: atoms to project onto (e.g. the database
+                vocabulary, dropping Tseitin definitional atoms).  Defaults
+                to every interned atom.
+        """
+        if self._last_model is None:
+            raise SolverError("no model available; call solve() first")
+        if restrict_to is None:
+            atoms = self.variables.atoms()
+        else:
+            atoms = [a for a in restrict_to if a in self.variables]
+        true_vars = self._last_model
+        return Interpretation(
+            a for a in atoms if self.variables.number(a) in true_vars
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Search statistics of the CDCL core."""
+        return self._core.stats.snapshot()
+
+
+# ----------------------------------------------------------------------
+# One-shot helpers
+# ----------------------------------------------------------------------
+def is_satisfiable(cnf: Cnf, engine: str = "cdcl") -> bool:
+    """One-shot satisfiability of a symbolic CNF."""
+    solver = SatSolver(engine=engine)
+    solver.add_cnf(cnf)
+    return solver.solve()
+
+
+def database_is_consistent(db: DisjunctiveDatabase, engine: str = "cdcl") -> bool:
+    """Whether the database has at least one classical model."""
+    solver = SatSolver(engine=engine)
+    solver.add_database(db)
+    return solver.solve()
+
+
+def find_model(
+    db: DisjunctiveDatabase, engine: str = "cdcl"
+) -> Optional[Interpretation]:
+    """Some classical model of the database, or ``None``."""
+    solver = SatSolver(engine=engine)
+    solver.add_database(db)
+    if not solver.solve():
+        return None
+    return solver.model(restrict_to=db.vocabulary)
+
+
+def formula_is_valid(formula: Formula) -> bool:
+    """Classical validity of a formula (via one UNSAT call)."""
+    solver = SatSolver()
+    solver.add_formula(formula, positive=False)
+    return not solver.solve()
+
+
+def entails_classically(db: DisjunctiveDatabase, formula: Formula) -> bool:
+    """Classical entailment ``DB |= F`` (truth in all classical models),
+    decided by one UNSAT call on ``DB ∧ ¬F``."""
+    solver = SatSolver()
+    solver.add_database(db)
+    solver.add_formula(formula, positive=False)
+    return not solver.solve()

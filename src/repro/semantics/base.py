@@ -1,0 +1,216 @@
+"""Semantics interface and registry.
+
+Every semantics studied by the paper is exposed as a class implementing
+:class:`Semantics` with the paper's three decision problems:
+
+* :meth:`Semantics.model_set` — the set of selected models (may be
+  exponential; intended for inspection and tests),
+* :meth:`Semantics.infers` — formula inference (truth in all selected
+  models),
+* :meth:`Semantics.infers_literal` — literal inference,
+* :meth:`Semantics.has_model` — model existence under the semantics.
+
+Each class offers an ``engine`` switch:
+
+* ``"oracle"`` (default) — the SAT/Σ₂ᵖ-oracle-backed decision procedures
+  realizing the paper's upper bounds,
+* ``"brute"`` — explicit enumeration over ``2^|V|`` (or ``3^|V|``)
+  interpretations, the ground truth used in cross-validation tests.
+
+The registry maps names and historical aliases (``"circ"``, ``"wgcwa"``,
+``"pms"``, ...) to classes; :func:`get_semantics` instantiates by name and
+the module-level helpers :func:`infer` / :func:`infers_literal` /
+:func:`has_model` / :func:`model_set` provide a one-call API.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Type, Union
+
+from ..errors import ReproError
+from ..logic.atoms import Literal
+from ..logic.database import DisjunctiveDatabase
+from ..logic.formula import Formula, Not, Var
+from ..logic.interpretation import Interpretation
+
+#: Valid engine names.
+ENGINES = ("oracle", "brute")
+
+
+def literal_formula(literal: Literal) -> Formula:
+    """A literal as a formula."""
+    return Var(literal.atom) if literal.positive else Not(Var(literal.atom))
+
+
+def ground_query(db: DisjunctiveDatabase, formula: Formula) -> Formula:
+    """Replace query atoms outside the database vocabulary by ``false``.
+
+    Models range over the vocabulary, so a stray atom is false in every
+    selected model; grounding it up front keeps the oracle engines (which
+    would otherwise leave it as a free SAT variable) consistent with the
+    model-based definition.
+    """
+    stray = formula.atoms() - db.vocabulary
+    if not stray:
+        return formula
+    from ..qbf.formula import substitute
+
+    return substitute(formula, {atom: False for atom in stray})
+
+
+class Semantics(ABC):
+    """Base class for all disjunctive database semantics.
+
+    Args:
+        engine: ``"oracle"`` or ``"brute"`` (see module docstring).
+    """
+
+    #: Canonical lowercase name (e.g. ``"gcwa"``).
+    name: str = ""
+    #: Historical aliases also accepted by the registry.
+    aliases: Tuple[str, ...] = ()
+    #: Human-readable description for reports.
+    description: str = ""
+
+    def __init__(self, engine: str = "oracle"):
+        if engine not in ENGINES:
+            raise ReproError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # Applicability
+    # ------------------------------------------------------------------
+    def validate(self, db: DisjunctiveDatabase) -> None:
+        """Raise if ``db`` lies outside this semantics' syntactic class.
+
+        The default accepts everything; semantics defined only for
+        deductive or stratified databases override this.
+        """
+
+    # ------------------------------------------------------------------
+    # The three decision problems
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def model_set(
+        self, db: DisjunctiveDatabase
+    ) -> FrozenSet[Interpretation]:
+        """The set of models selected by this semantics."""
+
+    def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
+        """Formula inference: truth of ``formula`` in every selected model.
+
+        Default implementation materializes :meth:`model_set`; oracle
+        engines override this with decision procedures that do not.
+        """
+        self.validate(db)
+        return all(m.satisfies(formula) for m in self.model_set(db))
+
+    def infers_literal(
+        self, db: DisjunctiveDatabase, literal: Union[Literal, str]
+    ) -> bool:
+        """Literal inference.  Accepts a :class:`Literal` or a string such
+        as ``"a"`` / ``"not a"``."""
+        if isinstance(literal, str):
+            literal = Literal.parse(literal)
+        return self.infers(db, literal_formula(literal))
+
+    def has_model(self, db: DisjunctiveDatabase) -> bool:
+        """Model existence under this semantics."""
+        self.validate(db)
+        return bool(self.model_set(db))
+
+    def infers_brave(
+        self, db: DisjunctiveDatabase, formula: Formula
+    ) -> bool:
+        """*Brave* (credulous) inference: truth of ``formula`` in at
+        least one selected model — the companion mode to the cautious
+        :meth:`infers` (beyond the paper's tables, which are cautious
+        throughout).  Default: materialize :meth:`model_set`; oracle
+        engines override where a witness search is available.
+        """
+        self.validate(db)
+        formula = ground_query(db, formula)
+        return any(m.satisfies(formula) for m in self.model_set(db))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(engine={self.engine!r})"
+
+
+#: The registry of semantics classes by canonical name.
+SEMANTICS: Dict[str, Type[Semantics]] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register(cls: Type[Semantics]) -> Type[Semantics]:
+    """Class decorator adding a semantics to the registry."""
+    if not cls.name:
+        raise ReproError(f"{cls.__name__} has no name")
+    if cls.name in SEMANTICS:
+        raise ReproError(f"duplicate semantics name {cls.name!r}")
+    SEMANTICS[cls.name] = cls
+    for alias in cls.aliases:
+        if alias in _ALIASES or alias in SEMANTICS:
+            raise ReproError(f"duplicate semantics alias {alias!r}")
+        _ALIASES[alias] = cls.name
+    return cls
+
+
+def resolve_name(name: str) -> str:
+    """Canonicalize a semantics name or alias."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in SEMANTICS:
+        known = ", ".join(sorted(SEMANTICS) + sorted(_ALIASES))
+        raise ReproError(f"unknown semantics {name!r}; known: {known}")
+    return key
+
+
+def get_semantics(name: str, **kwargs) -> Semantics:
+    """Instantiate a semantics by (alias-)name.
+
+    Keyword arguments are forwarded to the class constructor — e.g.
+    ``get_semantics("ecwa", p=..., z=...)`` for partition-parameterized
+    semantics, or ``engine="brute"`` for the enumeration engine.
+    """
+    return SEMANTICS[resolve_name(name)](**kwargs)
+
+
+# ----------------------------------------------------------------------
+# One-call convenience API
+# ----------------------------------------------------------------------
+def infer(
+    db: DisjunctiveDatabase,
+    formula: Formula,
+    semantics: str = "egcwa",
+    **kwargs,
+) -> bool:
+    """Does ``db`` infer ``formula`` under the named semantics?"""
+    return get_semantics(semantics, **kwargs).infers(db, formula)
+
+
+def infers_literal(
+    db: DisjunctiveDatabase,
+    literal: Union[Literal, str],
+    semantics: str = "egcwa",
+    **kwargs,
+) -> bool:
+    """Does ``db`` infer the literal under the named semantics?"""
+    return get_semantics(semantics, **kwargs).infers_literal(db, literal)
+
+
+def has_model(
+    db: DisjunctiveDatabase, semantics: str = "egcwa", **kwargs
+) -> bool:
+    """Does ``db`` have a model under the named semantics?"""
+    return get_semantics(semantics, **kwargs).has_model(db)
+
+
+def model_set(
+    db: DisjunctiveDatabase, semantics: str = "egcwa", **kwargs
+) -> FrozenSet[Interpretation]:
+    """The models that the named semantics selects for ``db``."""
+    return get_semantics(semantics, **kwargs).model_set(db)

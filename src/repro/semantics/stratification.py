@@ -1,0 +1,214 @@
+"""Stratification of disjunctive databases (DSDBs).
+
+A database is *stratified* when its atoms can be layered ``S1, ..., Sr``
+such that, for every clause ``H :- B, not C``:
+
+* all head atoms of ``H`` lie in the same stratum,
+* every positive body atom lies in a stratum no higher than the head's,
+* every negated body atom lies in a stratum strictly below the head's.
+
+(Chandra & Harel [6]; Apt, Blair & Walker [1]; generalized to DDBs by
+Przymusinski [19].)  A stratification always exists iff the *dependency
+graph* has no cycle through a negative edge; it can be found in
+polynomial time (paper, Section 4: "a stratification of DB can be
+efficiently found").
+
+This module builds the dependency graph, decides stratifiability, and
+returns the canonical (smallest-stratum) stratification.  It also derives
+the *priority levels* used by ICWA and (reversed) by the perfect-models
+comparison: lower strata have higher priority (they are minimized first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import NotStratifiedError
+from ..logic.database import DisjunctiveDatabase
+
+#: Edge kinds in the dependency graph.
+POSITIVE = 0  #: head may be in the same stratum as the source
+NEGATIVE = 1  #: head must be in a strictly higher stratum
+
+
+def dependency_edges(
+    db: DisjunctiveDatabase,
+) -> List[Tuple[str, str, int]]:
+    """Directed edges ``(source, target, kind)`` meaning
+    ``stratum(target) >= stratum(source)`` (positive) or ``>`` (negative).
+
+    Head atoms of one clause are tied together with positive edges in both
+    directions, forcing them into a common stratum.
+    """
+    edges: List[Tuple[str, str, int]] = []
+    for clause in db.clauses:
+        heads = sorted(clause.head)
+        for i in range(len(heads) - 1):
+            edges.append((heads[i], heads[i + 1], POSITIVE))
+            edges.append((heads[i + 1], heads[i], POSITIVE))
+        for head in heads:
+            for body_atom in clause.body_pos:
+                edges.append((body_atom, head, POSITIVE))
+            for neg_atom in clause.body_neg:
+                edges.append((neg_atom, head, NEGATIVE))
+    return edges
+
+
+def _tarjan_sccs(
+    nodes: Sequence[str], adjacency: Dict[str, List[str]]
+) -> List[List[str]]:
+    """Strongly connected components (iterative Tarjan), in reverse
+    topological order of the condensation."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work = [(root, iter(adjacency.get(root, ())))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, neighbours = work[-1]
+            advanced = False
+            for neighbour in neighbours:
+                if neighbour not in index_of:
+                    index_of[neighbour] = lowlink[neighbour] = counter[0]
+                    counter[0] += 1
+                    stack.append(neighbour)
+                    on_stack[neighbour] = True
+                    work.append((neighbour, iter(adjacency.get(neighbour, ()))))
+                    advanced = True
+                    break
+                if on_stack.get(neighbour):
+                    lowlink[node] = min(lowlink[node], index_of[neighbour])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+class Stratification:
+    """A stratification ``S1, ..., Sr`` of a database's atoms.
+
+    Attributes:
+        strata: tuple of frozensets, lowest stratum first.  Every
+            vocabulary atom appears in exactly one stratum.
+    """
+
+    def __init__(self, strata: Sequence[FrozenSet[str]]):
+        self.strata: Tuple[FrozenSet[str], ...] = tuple(
+            frozenset(s) for s in strata
+        )
+        self._level: Dict[str, int] = {}
+        for level, stratum in enumerate(self.strata):
+            for atom in stratum:
+                self._level[atom] = level
+
+    def __len__(self) -> int:
+        return len(self.strata)
+
+    def level(self, atom: str) -> int:
+        """The (0-based) stratum index of ``atom``."""
+        return self._level[atom]
+
+    def clause_level(self, clause) -> int:
+        """The stratum of a clause = the (common) stratum of its head; for
+        integrity clauses, the highest stratum of its body atoms."""
+        if clause.head:
+            return max(self.level(a) for a in clause.head)
+        atoms = clause.body_pos | clause.body_neg
+        return max((self.level(a) for a in atoms), default=0)
+
+    def priority_levels(self) -> List[FrozenSet[str]]:
+        """Strata as priority levels for prioritized minimization: lowest
+        stratum first — minimized first (highest priority)."""
+        return list(self.strata)
+
+    def __repr__(self) -> str:
+        parts = "; ".join(
+            "{" + ", ".join(sorted(s)) + "}" for s in self.strata
+        )
+        return f"Stratification({parts})"
+
+
+def stratify(
+    db: DisjunctiveDatabase,
+) -> Optional[Stratification]:
+    """The canonical stratification of ``db``, or ``None`` if the database
+    is not stratifiable (a dependency cycle through negation).
+
+    Strata indices are the least possible for each atom (computed by a
+    longest-negative-path labelling of the SCC condensation).
+    """
+    atoms = sorted(db.vocabulary)
+    edges = dependency_edges(db)
+    adjacency: Dict[str, List[str]] = {a: [] for a in atoms}
+    for source, target, _kind in edges:
+        adjacency[source].append(target)
+    components = _tarjan_sccs(atoms, adjacency)
+    component_of: Dict[str, int] = {}
+    for index, component in enumerate(components):
+        for atom in component:
+            component_of[atom] = index
+
+    # A negative edge inside one SCC means an unstratifiable cycle.
+    for source, target, kind in edges:
+        if kind == NEGATIVE and component_of[source] == component_of[target]:
+            return None
+
+    # Longest-negative-path labelling of the condensation by relaxation
+    # (the component graph is a DAG, so |components| rounds suffice).
+    level: Dict[int, int] = {i: 0 for i in range(len(components))}
+    for _ in range(len(components)):
+        changed = False
+        for source, target, kind in edges:
+            source_c = component_of[source]
+            target_c = component_of[target]
+            if source_c == target_c:
+                continue
+            required = level[source_c] + (1 if kind == NEGATIVE else 0)
+            if level[target_c] < required:
+                level[target_c] = required
+                changed = True
+        if not changed:
+            break
+
+    depth = max(level.values(), default=0) + 1
+    strata: List[set] = [set() for _ in range(depth)]
+    for index, component in enumerate(components):
+        strata[level[index]].update(component)
+    return Stratification([frozenset(s) for s in strata])
+
+
+def require_stratification(db: DisjunctiveDatabase) -> Stratification:
+    """Stratify or raise :class:`~repro.errors.NotStratifiedError`."""
+    stratification = stratify(db)
+    if stratification is None:
+        raise NotStratifiedError(
+            "database has a dependency cycle through negation"
+        )
+    return stratification
+
+
+def is_stratified(db: DisjunctiveDatabase) -> bool:
+    """Whether the database is a DSDB."""
+    return stratify(db) is not None

@@ -1,0 +1,199 @@
+"""High-level query sessions.
+
+A :class:`DatabaseSession` wraps one database and answers repeated
+queries under any of the semantics, reusing solver state where the
+engines allow it and attaching oracle-usage accounting and certificates
+to every answer.  This is the interface an application (or the CLI in a
+future interactive mode) would program against:
+
+    session = DatabaseSession(parse_database("a | b. c :- a."))
+    answer = session.ask("~a | ~b", semantics="egcwa")
+    answer.verdict          # True
+    answer.sat_calls        # NP-oracle calls spent on this query
+    session.ask("c").certificate.model   # a counter-model, checkable
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Union
+
+from .complexity.oracles import count_sat_calls
+from .logic.atoms import Literal
+from .logic.database import DisjunctiveDatabase
+from .logic.formula import Formula
+from .logic.parser import parse_formula
+from .semantics import Semantics, get_semantics, resolve_name
+from .semantics.explain import (
+    CounterModelCertificate,
+    explain_non_inference,
+)
+
+
+@dataclass
+class Answer:
+    """The result of one session query.
+
+    Attributes:
+        verdict: the inference verdict.
+        semantics: canonical semantics name used.
+        query: the parsed query formula.
+        sat_calls: NP-oracle calls this query spent.
+        certificate: for a negative cautious verdict, a checkable
+            counter-model (``None`` for positive verdicts, and for
+            engines without a certificate path).
+    """
+
+    verdict: bool
+    semantics: str
+    query: Formula
+    sat_calls: int = 0
+    certificate: Optional[CounterModelCertificate] = None
+
+    def __bool__(self) -> bool:
+        return self.verdict
+
+    def render(self) -> str:
+        text = (
+            f"{self.semantics.upper()} |= {self.query}: {self.verdict}"
+            f"  [{self.sat_calls} NP-oracle calls]"
+        )
+        if self.certificate is not None:
+            text += f"\n  counter-model: {self.certificate.model}"
+        return text
+
+
+class DatabaseSession:
+    """Repeated queries against one database.
+
+    Args:
+        db: the database (immutable; derive a new session for updates).
+        default_semantics: semantics used when a query names none.
+        engine: forwarded to every semantics instance.
+        certificates: attach counter-model certificates to negative
+            cautious answers (costs one extra witness search).
+    """
+
+    def __init__(
+        self,
+        db: DisjunctiveDatabase,
+        default_semantics: str = "egcwa",
+        engine: str = "oracle",
+        certificates: bool = True,
+    ):
+        self.db = db
+        self.default_semantics = resolve_name(default_semantics)
+        self.engine = engine
+        self.certificates = certificates
+        self._semantics_cache: Dict[str, Semantics] = {}
+        self.total_sat_calls = 0
+        self.queries_answered = 0
+
+    # ------------------------------------------------------------------
+    def _semantics(self, name: Optional[str]) -> Semantics:
+        key = resolve_name(name or self.default_semantics)
+        if key not in self._semantics_cache:
+            self._semantics_cache[key] = get_semantics(
+                key, engine=self.engine
+            )
+        return self._semantics_cache[key]
+
+    def _parse(self, query: Union[str, Formula]) -> Formula:
+        if isinstance(query, str):
+            return parse_formula(query)
+        return query
+
+    # ------------------------------------------------------------------
+    def ask(
+        self,
+        query: Union[str, Formula],
+        semantics: Optional[str] = None,
+        mode: str = "cautious",
+    ) -> Answer:
+        """Answer a (cautious or brave) inference query.
+
+        Args:
+            query: formula text or AST.
+            semantics: semantics name (default: the session default).
+            mode: ``"cautious"`` (truth in all selected models) or
+                ``"brave"`` (truth in at least one).
+        """
+        engine = self._semantics(semantics)
+        formula = self._parse(query)
+        with count_sat_calls() as counter:
+            if mode == "cautious":
+                verdict = engine.infers(self.db, formula)
+            elif mode == "brave":
+                verdict = engine.infers_brave(self.db, formula)
+            else:
+                raise ValueError(f"unknown mode {mode!r}")
+        certificate = None
+        if (
+            mode == "cautious"
+            and not verdict
+            and self.certificates
+            and self.engine == "oracle"
+        ):
+            try:
+                certificate = explain_non_inference(
+                    self.db, formula, engine.name
+                )
+            except Exception:
+                certificate = None  # engines without a certificate path
+        self.total_sat_calls += counter.calls
+        self.queries_answered += 1
+        return Answer(
+            verdict=verdict,
+            semantics=engine.name,
+            query=formula,
+            sat_calls=counter.calls,
+            certificate=certificate,
+        )
+
+    def ask_literal(
+        self,
+        literal: Union[str, Literal],
+        semantics: Optional[str] = None,
+    ) -> Answer:
+        """Literal inference (the paper's first column)."""
+        engine = self._semantics(semantics)
+        if isinstance(literal, str):
+            literal = Literal.parse(literal)
+        with count_sat_calls() as counter:
+            verdict = engine.infers_literal(self.db, literal)
+        self.total_sat_calls += counter.calls
+        self.queries_answered += 1
+        from .semantics.base import literal_formula
+
+        return Answer(
+            verdict=verdict,
+            semantics=engine.name,
+            query=literal_formula(literal),
+            sat_calls=counter.calls,
+        )
+
+    def models(self, semantics: Optional[str] = None) -> FrozenSet:
+        """The selected model set (may be exponential)."""
+        return self._semantics(semantics).model_set(self.db)
+
+    def has_model(self, semantics: Optional[str] = None) -> bool:
+        """Model existence (the paper's third column)."""
+        return self._semantics(semantics).has_model(self.db)
+
+    def extended(self, clauses) -> "DatabaseSession":
+        """A new session over the database extended with ``clauses``
+        (sessions are immutable, like their databases)."""
+        return DatabaseSession(
+            self.db.with_clauses(clauses),
+            default_semantics=self.default_semantics,
+            engine=self.engine,
+            certificates=self.certificates,
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate session accounting."""
+        return {
+            "queries_answered": self.queries_answered,
+            "total_sat_calls": self.total_sat_calls,
+            "semantics_cached": len(self._semantics_cache),
+        }

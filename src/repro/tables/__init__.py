@@ -1,0 +1,17 @@
+"""Reproduction of the paper's Tables 1 and 2 (claims + evidence)."""
+
+from .evidence import CellEvidence, measure_cell
+from .report import claims_grid, render_both_tables, render_table
+from .scaling import ScalingRow, measure_size, render_rows, run_scaling_study
+
+__all__ = [
+    "CellEvidence",
+    "measure_cell",
+    "claims_grid",
+    "render_both_tables",
+    "render_table",
+    "ScalingRow",
+    "measure_size",
+    "render_rows",
+    "run_scaling_study",
+]

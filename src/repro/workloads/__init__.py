@@ -1,0 +1,59 @@
+"""Workload generators: random regimes and structured scaling families."""
+
+from .families import (
+    chain,
+    disjunctive_chain,
+    exclusive_pairs,
+    exclusive_pairs_strict,
+    pigeonhole_cnf_db,
+    stratified_tower,
+    win_move_cycle,
+    win_move_path,
+)
+from .random_db import (
+    random_deductive_db,
+    random_normal_db,
+    random_positive_db,
+    random_stratified_db,
+)
+from .suites import (
+    ALL_SUITES,
+    Suite,
+    normal_suite,
+    stratified_suite,
+    suite_digests,
+    table1_suite,
+    table2_suite,
+)
+from .random_formulas import (
+    random_cnf,
+    random_dnf_terms,
+    random_qbf2,
+    random_query_formula,
+)
+
+__all__ = [
+    "chain",
+    "disjunctive_chain",
+    "exclusive_pairs",
+    "exclusive_pairs_strict",
+    "pigeonhole_cnf_db",
+    "stratified_tower",
+    "win_move_cycle",
+    "win_move_path",
+    "random_deductive_db",
+    "random_normal_db",
+    "random_positive_db",
+    "random_stratified_db",
+    "ALL_SUITES",
+    "Suite",
+    "normal_suite",
+    "stratified_suite",
+    "suite_digests",
+    "table1_suite",
+    "table2_suite",
+    "random_cnf",
+    "random_dnf_terms",
+    "random_qbf2",
+    "random_query_formula",
+]

@@ -1,0 +1,106 @@
+"""Structured scaling families.
+
+Deterministic parameterized databases with known analytic structure, used
+by the benchmarks to make the tractable-vs-intractable separation of the
+tables visible as growth rates, and by the tests as instances with
+predictable answers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..logic.clause import Clause
+from ..logic.database import DisjunctiveDatabase
+
+
+def exclusive_pairs(n: int) -> DisjunctiveDatabase:
+    """``{x_i | y_i : i <= n}`` — ``2^n`` minimal models (each picks one
+    of every pair), all atoms possibly true; GCWA/DDR negate nothing."""
+    clauses = [Clause.fact(f"x{i}", f"y{i}") for i in range(1, n + 1)]
+    return DisjunctiveDatabase(clauses)
+
+
+def exclusive_pairs_strict(n: int) -> DisjunctiveDatabase:
+    """Exclusive pairs with integrity clauses forbidding both atoms —
+    models are exactly the ``2^n`` proper choices (Table 2 regime)."""
+    clauses: List[Clause] = []
+    for i in range(1, n + 1):
+        clauses.append(Clause.fact(f"x{i}", f"y{i}"))
+        clauses.append(Clause.integrity([f"x{i}", f"y{i}"]))
+    return DisjunctiveDatabase(clauses)
+
+
+def chain(n: int) -> DisjunctiveDatabase:
+    """A definite chain ``a1. a2 :- a1. ... an :- a(n-1)`` — one minimal
+    model containing everything; every semantics is decisive and fast."""
+    clauses = [Clause.fact("a1")]
+    clauses += [
+        Clause.rule([f"a{i}"], [f"a{i-1}"]) for i in range(2, n + 1)
+    ]
+    return DisjunctiveDatabase(clauses)
+
+
+def disjunctive_chain(n: int) -> DisjunctiveDatabase:
+    """``a1 | b1.  a(i) | b(i) :- a(i-1).  a(i) | b(i) :- b(i-1)`` —
+    exponentially many minimal models along a chain."""
+    clauses = [Clause.fact("a1", "b1")]
+    for i in range(2, n + 1):
+        clauses.append(Clause.rule([f"a{i}", f"b{i}"], [f"a{i-1}"]))
+        clauses.append(Clause.rule([f"a{i}", f"b{i}"], [f"b{i-1}"]))
+    return DisjunctiveDatabase(clauses)
+
+
+def win_move_cycle(n: int) -> DisjunctiveDatabase:
+    """The classic game database ``win(i) :- not win(i+1 mod n)`` on an
+    ``n``-cycle: stratified iff never (n >= 1); stable models exist iff
+    ``n`` is even; the paper's DNDB regime."""
+    clauses = [
+        Clause.rule([f"win{i}"], [], [f"win{(i % n) + 1}"])
+        for i in range(1, n + 1)
+    ]
+    return DisjunctiveDatabase(clauses)
+
+
+def win_move_path(n: int) -> DisjunctiveDatabase:
+    """``win(i) :- not win(i+1)`` on a path — stratified, one perfect
+    model with alternating wins from the end."""
+    clauses = [
+        Clause.rule([f"win{i}"], [], [f"win{i+1}"]) for i in range(1, n)
+    ]
+    return DisjunctiveDatabase(clauses, [f"win{i}" for i in range(1, n + 1)])
+
+
+def stratified_tower(levels: int, width: int = 2) -> DisjunctiveDatabase:
+    """``levels`` strata of ``width`` disjunctive choices, each level
+    conditioned on the negation of the previous level's first atom —
+    exercises ICWA/PERF with nontrivial priorities."""
+    clauses: List[Clause] = []
+    for level in range(1, levels + 1):
+        heads = [f"l{level}_{j}" for j in range(1, width + 1)]
+        if level == 1:
+            clauses.append(Clause.fact(*heads))
+        else:
+            clauses.append(
+                Clause.rule(heads, [], [f"l{level-1}_1"])
+            )
+    return DisjunctiveDatabase(clauses)
+
+
+def pigeonhole_cnf_db(pigeons: int) -> DisjunctiveDatabase:
+    """The pigeonhole principle PHP(p, p-1) as a database with integrity
+    clauses — unsatisfiable, hard for resolution-style reasoning; used to
+    stress the NP-complete model-existence cells."""
+    holes = pigeons - 1
+    clauses: List[Clause] = []
+    for p in range(1, pigeons + 1):
+        clauses.append(
+            Clause.fact(*[f"in_{p}_{h}" for h in range(1, holes + 1)])
+        )
+    for h in range(1, holes + 1):
+        for p1 in range(1, pigeons + 1):
+            for p2 in range(p1 + 1, pigeons + 1):
+                clauses.append(
+                    Clause.integrity([f"in_{p1}_{h}", f"in_{p2}_{h}"])
+                )
+    return DisjunctiveDatabase(clauses)

@@ -1,0 +1,81 @@
+"""Random CNFs, DNFs, 2QBFs and query formulas (seeded, deterministic)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..logic.atoms import Literal
+from ..logic.cnf import Cnf
+from ..logic.formula import Formula, Not, Var, conj, disj
+from ..qbf.formula import QBF2, dnf_formula, exists_forall
+
+
+def random_cnf(
+    num_vars: int,
+    num_clauses: int,
+    width: int = 3,
+    seed: int = 0,
+    prefix: str = "x",
+) -> Cnf:
+    """A random ``width``-CNF over ``prefix1..prefixN`` as a symbolic CNF."""
+    rng = random.Random(seed)
+    atoms = [f"{prefix}{i}" for i in range(1, num_vars + 1)]
+    cnf: Cnf = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(atoms, min(width, num_vars))
+        cnf.append(
+            frozenset(
+                Literal(a, rng.random() < 0.5) for a in chosen
+            )
+        )
+    return cnf
+
+
+def random_dnf_terms(
+    atoms: Sequence[str], num_terms: int, width: int, rng: random.Random
+) -> List[Tuple[set, set]]:
+    """Random DNF terms as (positive, negative) atom sets."""
+    terms = []
+    for _ in range(num_terms):
+        chosen = rng.sample(list(atoms), min(width, len(atoms)))
+        positive, negative = set(), set()
+        for atom in chosen:
+            (positive if rng.random() < 0.5 else negative).add(atom)
+        terms.append((positive, negative))
+    return terms
+
+
+def random_qbf2(
+    num_x: int,
+    num_y: int,
+    num_terms: int = 4,
+    width: int = 3,
+    seed: int = 0,
+) -> QBF2:
+    """A random ``∃X ∀Y`` 2QBF with a DNF matrix (the Σ₂ᵖ-complete form
+    the reductions start from)."""
+    rng = random.Random(seed)
+    x = [f"x{i}" for i in range(1, num_x + 1)]
+    y = [f"y{i}" for i in range(1, num_y + 1)]
+    terms = random_dnf_terms(x + y, num_terms, width, rng)
+    return exists_forall(x, y, dnf_formula(terms))
+
+
+def random_query_formula(
+    atoms: Sequence[str], depth: int = 3, seed: int = 0
+) -> Formula:
+    """A random propositional query formula over ``atoms`` (for the
+    formula-inference benchmarks)."""
+    rng = random.Random(seed)
+    pool = list(atoms)
+
+    def build(level: int) -> Formula:
+        if level == 0 or rng.random() < 0.3:
+            atom = rng.choice(pool)
+            return Var(atom) if rng.random() < 0.5 else Not(Var(atom))
+        arity = rng.randint(2, 3)
+        parts = [build(level - 1) for _ in range(arity)]
+        return conj(parts) if rng.random() < 0.5 else disj(parts)
+
+    return build(depth)

@@ -1,0 +1,69 @@
+"""Tests for repro.logic.atoms."""
+
+import pytest
+
+from repro.logic.atoms import Literal, atoms_of, is_valid_atom
+
+
+class TestLiteral:
+    def test_positive_by_default(self):
+        assert Literal("a").positive
+
+    def test_negation_flips_sign(self):
+        assert -Literal("a") == Literal("a", False)
+
+    def test_double_negation_is_identity(self):
+        literal = Literal("a", False)
+        assert -(-literal) == literal
+
+    def test_negated_property_matches_operator(self):
+        literal = Literal("x")
+        assert literal.negated == -literal
+
+    def test_str_positive(self):
+        assert str(Literal("a")) == "a"
+
+    def test_str_negative(self):
+        assert str(Literal("a", False)) == "not a"
+
+    def test_ordering_groups_by_atom(self):
+        assert Literal("a", False) < Literal("a", True) < Literal("b", False)
+
+    def test_ordering_against_non_literal_raises(self):
+        with pytest.raises(TypeError):
+            Literal("a") < 3  # noqa: B015
+
+    def test_hashable_and_equal(self):
+        assert len({Literal("a"), Literal("a"), Literal("a", False)}) == 2
+
+    def test_pos_neg_constructors(self):
+        assert Literal.pos("a") == Literal("a", True)
+        assert Literal.neg("a") == Literal("a", False)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a", Literal("a", True)),
+            ("not a", Literal("a", False)),
+            ("-a", Literal("a", False)),
+            ("~a", Literal("a", False)),
+            ("  not   b ", Literal("b", False)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Literal.parse(text) == expected
+
+
+class TestAtomValidation:
+    @pytest.mark.parametrize("name", ["a", "x1", "foo_bar", "p(a,b)", "_x"])
+    def test_valid_names(self, name):
+        assert is_valid_atom(name)
+
+    @pytest.mark.parametrize("name", ["1a", "a b", "", "a|b", "-a"])
+    def test_invalid_names(self, name):
+        assert not is_valid_atom(name)
+
+
+def test_atoms_of_collects_atoms():
+    literals = [Literal("a"), Literal("b", False), Literal("a", False)]
+    assert atoms_of(literals) == {"a", "b"}

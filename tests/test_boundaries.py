@@ -1,0 +1,105 @@
+"""Boundary conditions: empty databases, single atoms, wide clauses,
+inconsistent inputs — uniform behaviour across every semantics."""
+
+import pytest
+
+from repro import has_model, model_set, parse_database, parse_formula
+from repro.logic.clause import Clause
+from repro.logic.database import DisjunctiveDatabase
+from repro.semantics import SEMANTICS, get_semantics
+
+ALL = sorted(SEMANTICS)
+DEDUCTIVE_ONLY = {"ddr", "pws"}
+NLP_ONLY = {"supported"}
+
+
+class TestEmptyDatabase:
+    @pytest.mark.parametrize("name", ALL)
+    def test_unique_empty_model(self, name):
+        db = parse_database("")
+        models = model_set(db, name)
+        assert len(models) == 1
+        assert has_model(db, name)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_tautologies_inferred(self, name):
+        db = parse_database("")
+        assert get_semantics(name).infers(db, parse_formula("true"))
+        assert not get_semantics(name).infers(db, parse_formula("false"))
+
+
+class TestPaddedVocabulary:
+    """Atoms in the vocabulary but in no clause are false in every
+    selected model of every closing semantics."""
+
+    @pytest.mark.parametrize(
+        "name", [n for n in ALL if n not in ("ddr", "cwa")]
+    )
+    def test_unused_atom_closed_to_false(self, name):
+        db = parse_database("a.").with_vocabulary(["unused"])
+        semantics = get_semantics(name)
+        if name in NLP_ONLY or name not in DEDUCTIVE_ONLY:
+            pass  # all fine for 'a.' (it is Horn, positive, stratified)
+        for model in semantics.model_set(db):
+            truth = model.true if hasattr(model, "true") else model
+            assert "unused" not in truth, name
+
+    def test_ddr_also_closes_unused_atoms(self):
+        db = parse_database("a.").with_vocabulary(["unused"])
+        assert get_semantics("ddr").infers_literal(db, "not unused")
+
+
+class TestWideClauses:
+    def test_wide_head(self):
+        atoms = [f"x{i}" for i in range(12)]
+        db = DisjunctiveDatabase([Clause.fact(*atoms)])
+        assert len(model_set(db, "egcwa")) == 12  # one per singleton
+
+    def test_wide_body(self):
+        atoms = [f"b{i}" for i in range(10)]
+        clauses = [Clause.fact(a) for a in atoms]
+        clauses.append(Clause.rule(["head"], atoms))
+        db = DisjunctiveDatabase(clauses)
+        assert get_semantics("egcwa").infers_literal(db, "head")
+
+
+class TestInconsistency:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in ALL if n not in ("perf", "icwa")],
+        # PERF rejects ICs syntactically; ICWA asserts consistency.
+    )
+    def test_inconsistent_db_has_no_models(self, name):
+        db = parse_database("a. :- a.")
+        if name in DEDUCTIVE_ONLY and db.has_negation:
+            return
+        semantics = get_semantics(name)
+        assert semantics.model_set(db) == frozenset()
+        assert not semantics.has_model(db)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in ALL if n not in ("perf", "icwa")]
+    )
+    def test_inconsistent_db_infers_everything(self, name):
+        db = parse_database("a. :- a.")
+        assert get_semantics(name).infers(db, parse_formula("false"))
+
+
+class TestSingleAtomPrograms:
+    def test_fact_only(self):
+        db = parse_database("a.")
+        for name in ALL:
+            models = model_set(db, name)
+            assert len(models) == 1, name
+
+    def test_self_negation(self):
+        db = parse_database("a :- not a.")
+        # classical models: {a}; minimal: {a}; stable: none;
+        # partial stable: a undefined.
+        assert model_set(db, "egcwa") == frozenset(
+            {frozenset({"a"})}
+        ) or {frozenset(m) for m in model_set(db, "egcwa")} == {
+            frozenset({"a"})
+        }
+        assert not has_model(db, "dsm")
+        assert has_model(db, "pdsm")

@@ -1,0 +1,121 @@
+"""Tests for repro.logic.database."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.logic.clause import Clause
+from repro.logic.database import DisjunctiveDatabase, database
+from repro.logic.parser import parse_database
+
+
+class TestConstruction:
+    def test_vocabulary_defaults_to_occurring_atoms(self):
+        db = database(Clause.fact("a", "b"), Clause.rule(["c"], ["a"]))
+        assert db.vocabulary == {"a", "b", "c"}
+
+    def test_explicit_vocabulary_may_be_wider(self):
+        db = DisjunctiveDatabase([Clause.fact("a")], ["a", "b"])
+        assert db.vocabulary == {"a", "b"}
+
+    def test_vocabulary_must_cover_clauses(self):
+        with pytest.raises(PartitionError):
+            DisjunctiveDatabase([Clause.fact("a")], ["b"])
+
+    def test_duplicate_clauses_collapse(self):
+        db = database(Clause.fact("a"), Clause.fact("a"))
+        assert len(db) == 1
+
+    def test_iteration_is_sorted_and_deterministic(self):
+        db = database(Clause.fact("b"), Clause.fact("a"))
+        assert [str(c) for c in db] == ["a.", "b."]
+
+    def test_membership(self):
+        db = database(Clause.fact("a"))
+        assert Clause.fact("a") in db
+        assert Clause.fact("b") not in db
+
+    def test_equality_and_hash(self):
+        db1 = database(Clause.fact("a"))
+        db2 = DisjunctiveDatabase([Clause.fact("a")])
+        assert db1 == db2 and hash(db1) == hash(db2)
+        assert db1 != db1.with_vocabulary(["x"])
+
+
+class TestClassification:
+    def test_positive_regime(self):
+        assert parse_database("a | b. c :- a.").is_positive
+
+    def test_integrity_clause_breaks_positive(self):
+        db = parse_database("a | b. :- a, b.")
+        assert not db.is_positive
+        assert db.is_deductive
+        assert db.has_integrity_clauses
+
+    def test_negation_breaks_deductive(self):
+        db = parse_database("a :- not b.")
+        assert not db.is_deductive
+        assert db.has_negation
+
+    def test_horn_and_nondisjunctive(self):
+        assert parse_database("a. b :- a.").is_horn
+        assert parse_database("a :- not b.").is_normal_nondisjunctive
+        assert not parse_database("a | b.").is_normal_nondisjunctive
+
+    def test_integrity_and_proper_split(self):
+        db = parse_database("a | b. :- a, b.")
+        assert len(db.integrity_clauses) == 1
+        assert len(db.proper_clauses) == 1
+
+
+class TestSemanticsHelpers:
+    def test_is_model(self, simple_db):
+        assert simple_db.is_model({"a", "c"})
+        assert not simple_db.is_model({"a"})  # c :- a violated
+        assert not simple_db.is_model(set())  # a | b violated
+
+    def test_to_formula_matches_is_model(self, simple_db):
+        formula = simple_db.to_formula()
+        import itertools
+
+        atoms = sorted(simple_db.vocabulary)
+        for bits in itertools.product([False, True], repeat=len(atoms)):
+            model = {a for a, bit in zip(atoms, bits) if bit}
+            assert formula.evaluate(model) == simple_db.is_model(model)
+
+
+class TestFunctionalUpdates:
+    def test_with_clauses_widens_vocabulary(self, simple_db):
+        extended = simple_db.with_clauses([Clause.fact("z")])
+        assert "z" in extended.vocabulary
+        assert len(extended) == len(simple_db) + 1
+        assert len(simple_db) == 2  # original untouched
+
+    def test_restrict_to_occurring(self):
+        db = DisjunctiveDatabase([Clause.fact("a")], ["a", "b"])
+        assert db.restricted_to_occurring_atoms().vocabulary == {"a"}
+
+
+class TestPartitions:
+    def test_valid_partition(self, simple_db):
+        p, q, z = simple_db.check_partition({"a"}, {"b"}, {"c"})
+        assert (p, q, z) == ({"a"}, {"b"}, {"c"})
+
+    def test_overlap_rejected(self, simple_db):
+        with pytest.raises(PartitionError):
+            simple_db.check_partition({"a"}, {"a", "b"}, {"c"})
+
+    def test_uncovered_atom_rejected(self, simple_db):
+        with pytest.raises(PartitionError):
+            simple_db.check_partition({"a"}, {"b"}, set())
+
+    def test_foreign_atom_rejected(self, simple_db):
+        with pytest.raises(PartitionError):
+            simple_db.check_partition({"a", "x"}, {"b"}, {"c"})
+
+
+def test_stats_fields(simple_db):
+    stats = simple_db.stats()
+    assert stats["clauses"] == 2
+    assert stats["atoms"] == 3
+    assert stats["disjunctive"] == 1
+    assert stats["integrity"] == 0

@@ -1,0 +1,178 @@
+"""Tests for DDR (= WGCWA) and PWS (= PMS)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NotPositiveError
+from repro.logic.parser import parse_database, parse_formula
+from repro.semantics import get_semantics
+from repro.semantics.ddr import possibly_true_atoms
+from repro.semantics.pws import (
+    is_possible_model,
+    possible_models_by_splits,
+)
+
+from conftest import databases
+
+
+class TestPossiblyTrueAtoms:
+    def test_facts_are_possibly_true(self):
+        assert possibly_true_atoms(parse_database("a | b.")) == {"a", "b"}
+
+    def test_propagation_through_bodies(self):
+        db = parse_database("a | b. c :- a. d :- e.")
+        assert possibly_true_atoms(db) == {"a", "b", "c"}
+
+    def test_integrity_clauses_ignored(self):
+        # Example 3.1's point: the fixpoint does not respect ICs.
+        db = parse_database("a | b. :- a, b. c :- a, b.")
+        assert "c" in possibly_true_atoms(db)
+
+    def test_negation_rejected(self):
+        with pytest.raises(NotPositiveError):
+            possibly_true_atoms(parse_database("a :- not b."))
+
+    def test_cyclic_support_not_derivable(self):
+        db = parse_database("a :- b. b :- a.")
+        assert possibly_true_atoms(db) == set()
+
+
+class TestDdr:
+    def test_example_31(self, example_31):
+        """Paper Example 3.1: DDR(DB) does not infer ¬c."""
+        ddr = get_semantics("ddr")
+        assert not ddr.infers_literal(example_31, "not c")
+        # but GCWA does (c is false in all minimal models).
+        assert get_semantics("gcwa").infers_literal(example_31, "not c")
+
+    def test_negative_literal_via_fixpoint(self):
+        db = parse_database("a | b. c :- d.")
+        ddr = get_semantics("ddr")
+        assert ddr.infers_literal(db, "not c")
+        assert ddr.infers_literal(db, "not d")
+        assert not ddr.infers_literal(db, "not a")
+
+    def test_model_set(self):
+        db = parse_database("a | b. c :- d.")
+        models = {frozenset(m) for m in get_semantics("ddr").model_set(db)}
+        # all models avoiding the never-derivable c, d
+        assert models == {
+            frozenset({"a"}), frozenset({"b"}), frozenset({"a", "b"})
+        }
+
+    def test_formula_inference_weaker_than_egcwa(self):
+        db = parse_database("a | b.")
+        assert not get_semantics("ddr").infers(
+            db, parse_formula("~a | ~b")
+        )
+
+    def test_rejects_negation(self, unstratified_db):
+        with pytest.raises(NotPositiveError):
+            get_semantics("ddr").infers_literal(unstratified_db, "not a")
+
+    def test_has_model_with_ics(self):
+        assert get_semantics("ddr").has_model(
+            parse_database("a | b. :- a, b.")
+        )
+        assert not get_semantics("ddr").has_model(
+            parse_database("a. :- a.")
+        )
+
+    @given(databases(allow_neg=False, max_clauses=4))
+    def test_oracle_matches_brute(self, db):
+        formula = parse_formula("~a | b")
+        oracle = get_semantics("ddr").infers(db, formula)
+        brute = get_semantics("ddr", engine="brute").infers(db, formula)
+        assert oracle == brute
+
+
+class TestPossibleModels:
+    def test_split_definition_on_simple_db(self, simple_db):
+        models = {
+            frozenset(m) for m in possible_models_by_splits(simple_db)
+        }
+        assert models == {
+            frozenset({"a", "c"}),
+            frozenset({"b"}),
+            frozenset({"a", "b", "c"}),
+        }
+
+    def test_polynomial_check_matches_split_definition(self, simple_db):
+        from repro.models.enumeration import all_models
+
+        split_models = possible_models_by_splits(simple_db)
+        for model in all_models(simple_db):
+            assert is_possible_model(simple_db, model) == (
+                model in split_models
+            )
+
+    @given(databases(allow_neg=False, max_clauses=4))
+    def test_polynomial_check_matches_splits_universally(self, db):
+        from repro.logic.interpretation import all_interpretations
+
+        split_models = possible_models_by_splits(db)
+        for interpretation in all_interpretations(db.vocabulary):
+            assert is_possible_model(db, interpretation) == (
+                interpretation in split_models
+            )
+
+    def test_unsupported_models_are_not_possible(self):
+        # {a, b} is a classical model of {a|b.} but b cannot be derived
+        # together with a... actually both can via the full split; the
+        # non-possible one needs an unsupported atom:
+        db = parse_database("a. b :- c.")
+        assert not is_possible_model(db, frozenset({"a", "b"}))
+        assert is_possible_model(db, frozenset({"a"}))
+
+
+class TestPws:
+    def test_pws_differs_from_ddr(self, simple_db):
+        """{b, c} is a DDR model but not a possible model (c unsupported)."""
+        ddr_models = get_semantics("ddr").model_set(simple_db)
+        pws_models = get_semantics("pws").model_set(simple_db)
+        assert frozenset({"b", "c"}) in {frozenset(m) for m in ddr_models}
+        assert frozenset({"b", "c"}) not in {
+            frozenset(m) for m in pws_models
+        }
+
+    def test_pws_negative_literal_fast_path(self):
+        db = parse_database("a | b. c :- d.")
+        pws = get_semantics("pws")
+        assert pws.infers_literal(db, "not c")
+        assert not pws.infers_literal(db, "not b")
+
+    def test_agrees_with_ddr_on_negative_literals_without_ics(self):
+        """Both closures negate exactly the non-possibly-true atoms."""
+        for seed in range(5):
+            from conftest import random_small_db
+
+            db = random_small_db(seed, allow_neg=False, allow_ic=False)
+            for atom in sorted(db.vocabulary):
+                assert get_semantics("pws").infers_literal(
+                    db, "not " + atom
+                ) == get_semantics("ddr").infers_literal(db, "not " + atom)
+
+    def test_has_model_with_ics(self):
+        assert not get_semantics("pws").has_model(
+            parse_database("a. :- a.")
+        )
+        assert get_semantics("pws").has_model(
+            parse_database("a | b. :- a, b.")
+        )
+
+    def test_rejects_negation(self, unstratified_db):
+        with pytest.raises(NotPositiveError):
+            get_semantics("pws").model_set(unstratified_db)
+
+    @given(databases(allow_neg=False, max_clauses=4))
+    def test_oracle_matches_brute(self, db):
+        formula = parse_formula("a | ~b")
+        oracle = get_semantics("pws").infers(db, formula)
+        brute = get_semantics("pws", engine="brute").infers(db, formula)
+        assert oracle == brute
+
+    @given(databases(allow_neg=False, max_clauses=4))
+    def test_model_sets_match(self, db):
+        assert get_semantics("pws").model_set(db) == get_semantics(
+            "pws", engine="brute"
+        ).model_set(db)

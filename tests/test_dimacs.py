@@ -1,0 +1,53 @@
+"""Tests for repro.logic.dimacs."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.atoms import Literal
+from repro.logic.dimacs import from_dimacs, to_dimacs
+
+
+def _cnf(*clauses):
+    return [
+        frozenset(Literal(atom, sign) for atom, sign in clause)
+        for clause in clauses
+    ]
+
+
+class TestRoundTrip:
+    def test_names_preserved(self):
+        cnf = _cnf([("a", True), ("b", False)], [("b", True)])
+        parsed, names = from_dimacs(to_dimacs(cnf))
+        assert sorted(names.values()) == ["a", "b"]
+        assert set(parsed) == set(cnf)
+
+    def test_empty_cnf(self):
+        parsed, _names = from_dimacs(to_dimacs([]))
+        assert parsed == []
+
+    def test_unnamed_variables_get_v_names(self):
+        text = "p cnf 2 1\n1 -2 0\n"
+        parsed, _names = from_dimacs(text)
+        assert parsed == [frozenset({Literal("v1"), Literal("v2", False)})]
+
+
+class TestErrors:
+    def test_unterminated_clause(self):
+        with pytest.raises(ParseError):
+            from_dimacs("p cnf 1 1\n1")
+
+    def test_bad_problem_line(self):
+        with pytest.raises(ParseError):
+            from_dimacs("p sat 1 1\n1 0\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(ParseError):
+            from_dimacs("p cnf 1 2\n1 0\n")
+
+    def test_bad_token(self):
+        with pytest.raises(ParseError):
+            from_dimacs("p cnf 1 1\nx 0\n")
+
+    def test_comments_ignored(self):
+        parsed, _names = from_dimacs("c hello\np cnf 1 1\n1 0\n")
+        assert len(parsed) == 1

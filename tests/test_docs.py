@@ -1,0 +1,145 @@
+"""Doc-sync tests: every model set quoted in docs/semantics_guide.md is
+re-derived here, so the guide cannot silently drift from the code."""
+
+import pytest
+
+from repro import model_set, parse_database
+from repro.errors import NotStratifiedError
+from repro.semantics import get_semantics
+
+
+def _models(db, name):
+    return {frozenset(m) for m in model_set(db, name)}
+
+
+class TestSection1PureDisjunction:
+    def setup_method(self):
+        self.db = parse_database("a | b.")
+
+    def test_weak_family_keeps_both_true(self):
+        for name in ("gcwa", "ddr", "pws"):
+            assert _models(self.db, name) == {
+                frozenset({"a"}), frozenset({"b"}), frozenset({"a", "b"})
+            }, name
+
+    def test_minimal_family_is_exclusive(self):
+        for name in ("egcwa", "ecwa", "circ", "perf", "icwa", "dsm"):
+            assert _models(self.db, name) == {
+                frozenset({"a"}), frozenset({"b"})
+            }, name
+
+
+class TestSection2Support:
+    def setup_method(self):
+        self.db = parse_database("a | b. c :- a.")
+
+    def test_ddr_keeps_unsupported_model(self):
+        assert frozenset({"b", "c"}) in _models(self.db, "ddr")
+
+    def test_pws_drops_unsupported_model(self):
+        models = _models(self.db, "pws")
+        assert frozenset({"b", "c"}) not in models
+        assert frozenset({"a", "b", "c"}) in models
+
+    def test_minimal_models(self):
+        assert _models(self.db, "egcwa") == {
+            frozenset({"b"}), frozenset({"a", "c"})
+        }
+
+
+class TestSection3Example31:
+    def setup_method(self):
+        self.db = parse_database("a | b. :- a, b. c :- a, b.")
+
+    def test_ddr_keeps_c_possible(self):
+        models = _models(self.db, "ddr")
+        assert frozenset({"a", "c"}) in models
+        assert frozenset({"b", "c"}) in models
+
+    def test_others_exclude_c(self):
+        for name in ("gcwa", "egcwa", "pws", "dsm"):
+            assert _models(self.db, name) == {
+                frozenset({"a"}), frozenset({"b"})
+            }, name
+
+
+class TestSection4Stratified:
+    def setup_method(self):
+        self.db = parse_database(
+            "sale :- not expensive. expensive :- luxury."
+        )
+
+    def test_egcwa_keeps_unintended_model(self):
+        assert _models(self.db, "egcwa") == {
+            frozenset({"sale"}), frozenset({"expensive"})
+        }
+
+    def test_stratified_semantics_recover_intended_model(self):
+        for name in ("perf", "icwa", "dsm"):
+            assert _models(self.db, name) == {frozenset({"sale"})}, name
+
+
+class TestSection5Unstratified:
+    def setup_method(self):
+        self.db = parse_database("a :- not b. b :- not a.")
+
+    def test_dsm_two_models(self):
+        assert _models(self.db, "dsm") == {
+            frozenset({"a"}), frozenset({"b"})
+        }
+
+    def test_pdsm_adds_undefined_model(self):
+        models = model_set(self.db, "pdsm")
+        assert len(models) == 3
+        assert any(m.undefined == {"a", "b"} for m in models)
+
+    def test_perf_empty(self):
+        assert _models(self.db, "perf") == set()
+
+    def test_icwa_rejects(self):
+        with pytest.raises(NotStratifiedError):
+            model_set(self.db, "icwa")
+
+    def test_odd_loop(self):
+        odd = parse_database("a :- not a.")
+        assert _models(odd, "dsm") == set()
+        pdsm = model_set(odd, "pdsm")
+        assert len(pdsm) == 1 and next(iter(pdsm)).undefined == {"a"}
+
+
+class TestSection6Partitions:
+    def test_floating_atom_buys_minimization(self):
+        db = parse_database("a | z.")
+        ecwa = get_semantics("ecwa", p=["a"], z=["z"])
+        assert {frozenset(m) for m in ecwa.model_set(db)} == {
+            frozenset({"z"})
+        }
+        ccwa = get_semantics("ccwa", p=["a"], z=["z"])
+        assert ccwa.infers_literal(db, "not a")
+        assert not get_semantics("gcwa").infers_literal(db, "not a")
+
+    def test_fixed_atom_splits_cases(self):
+        db = parse_database("a | q.")
+        ecwa = get_semantics("ecwa", p=["a"], z=[])
+        assert {frozenset(m) for m in ecwa.model_set(db)} == {
+            frozenset({"q"}), frozenset({"a"})
+        }
+
+
+class TestSection7Closures:
+    def test_closure_command_facts(self):
+        from repro.semantics.state import (
+            gcwa_closure_literals,
+            wgcwa_closure_literals,
+        )
+
+        db = parse_database("a. a | b. c :- d.")
+        assert wgcwa_closure_literals(db) == {"c", "d"}
+        assert gcwa_closure_literals(db) == {"b", "c", "d"}
+
+    def test_egcwa_closure_includes_singletons(self):
+        from repro.semantics.state import egcwa_closure_clauses
+
+        db = parse_database("a. a | b. c :- d.")
+        closure = egcwa_closure_clauses(db, max_size=1)
+        assert {frozenset({x}) for x in ("b", "c", "d")} <= closure

@@ -1,0 +1,212 @@
+"""Tests for the grounder (repro.ground)."""
+
+import pytest
+
+from repro.errors import ParseError, ReproError
+from repro.ground import (
+    Grounder,
+    PredicateAtom,
+    ground_program,
+    is_constant,
+    is_variable,
+    parse_predicate_atom,
+    parse_rule,
+    parse_rules,
+)
+from repro.logic.parser import parse_database
+from repro.semantics import get_semantics
+
+
+class TestTerms:
+    def test_variable_vs_constant(self):
+        assert is_variable("X") and not is_variable("x")
+        assert is_constant("a1") and not is_constant("Y")
+
+    def test_parse_predicate_atom(self):
+        atom = parse_predicate_atom("move(X, b)")
+        assert atom.predicate == "move"
+        assert atom.terms == ("X", "b")
+        assert atom.variables == {"X"}
+
+    def test_parse_propositional_atom(self):
+        atom = parse_predicate_atom("rain")
+        assert atom.terms == () and atom.is_ground
+
+    def test_ground_name_round_trips_through_parser(self):
+        name = PredicateAtom("move", ("a", "b")).ground_name()
+        db = parse_database(f"{name}.")
+        assert name in db.vocabulary
+
+    def test_ground_name_requires_ground(self):
+        with pytest.raises(ParseError):
+            PredicateAtom("p", ("X",)).ground_name()
+
+    def test_substitute(self):
+        atom = PredicateAtom("e", ("X", "Y"))
+        assert atom.substitute({"X": "a"}).terms == ("a", "Y")
+
+    @pytest.mark.parametrize("bad", ["Upper(x)", "p(x,", "p()q", ""])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_predicate_atom(bad)
+
+
+class TestRules:
+    def test_parse_rule(self):
+        rule = parse_rule("win(X) :- move(X, Y), not win(Y).")
+        assert [str(a) for a in rule.head] == ["win(X)"]
+        assert len(rule.body_pos) == 1 and len(rule.body_neg) == 1
+
+    def test_disjunctive_head(self):
+        rule = parse_rule("p(X) | q(X) :- node(X).")
+        assert len(rule.head) == 2
+
+    def test_integrity_rule(self):
+        rule = parse_rule(":- p(X), q(X).")
+        assert not rule.head
+
+    def test_safety_head_variable(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X).")
+
+    def test_safety_negative_variable(self):
+        with pytest.raises(ParseError):
+            parse_rule("p :- not q(X).")
+
+    def test_parse_rules_with_comments(self):
+        rules = parse_rules("p(a). % fact\nq(X) :- p(X).")
+        assert len(rules) == 2
+
+
+class TestGrounding:
+    def test_facts_pass_through(self):
+        db = ground_program("p(a). p(b).")
+        assert db.vocabulary == {"p(a)", "p(b)"}
+
+    def test_rule_instantiation(self):
+        db = ground_program("p(a). q(X) :- p(X).")
+        assert "q(a)" in db.vocabulary
+
+    def test_relevance_pruning(self):
+        # q(X) :- p(X) should not instantiate X=b when p(b) can never hold.
+        db = ground_program("p(a). c(b). q(X) :- p(X).")
+        assert "q(b)" not in db.vocabulary
+
+    def test_win_move_semantics_after_grounding(self):
+        db = ground_program(
+            """
+            move(a, b). move(b, c).
+            win(X) :- move(X, Y), not win(Y).
+            """
+        )
+        perf = get_semantics("perf").model_set(db)
+        (model,) = perf
+        assert "win(b)" in model and "win(a)" not in model
+
+    def test_disjunctive_grounding(self):
+        db = ground_program("node(a). node(b). red(X) | blue(X) :- node(X).")
+        assert "red(a)" in db.vocabulary and "blue(b)" in db.vocabulary
+        minimal = get_semantics("egcwa").model_set(db)
+        assert len(minimal) == 4  # 2 colours x 2 nodes
+
+    def test_integrity_rules_ground(self):
+        db = ground_program(
+            """
+            node(a). red(X) | blue(X) :- node(X). :- red(X), blue(X).
+            """
+        )
+        assert db.has_integrity_clauses
+
+    def test_extra_constants_extend_domain(self):
+        grounder = Grounder(
+            parse_rules("p(X) | q(X) :- d(X). d(a)."),
+            extra_constants=["b"],
+        )
+        db = grounder.ground()
+        # b is in the domain but d(b) is never derivable, so no clause
+        # about p(b) survives the pruning with a satisfied body... the
+        # instantiated rule p(b)|q(b) :- d(b) is pruned entirely.
+        assert "p(b)" not in db.vocabulary
+
+    def test_tautological_instances_dropped(self):
+        db = ground_program("p(a). p(X) :- p(X).")
+        assert all(not c.is_tautology() for c in db.clauses)
+
+    def test_variables_without_domain_raise(self):
+        from repro.ground.rules import Rule
+        from repro.ground.terms import PredicateAtom
+
+        rule = Rule(
+            (PredicateAtom("p", ("X",)),),
+            (PredicateAtom("d", ("X",)),),
+        )
+        with pytest.raises(ReproError):
+            Grounder([rule]).ground()
+
+    def test_ground_program_round_trips_propositionally(self):
+        db = ground_program("e(a, b). r(X, Y) :- e(X, Y).")
+        reparsed = parse_database(str(db))
+        assert reparsed == db
+
+
+class TestGroundingProperties:
+    def test_propositional_program_grounds_to_itself(self):
+        """A program without variables passes through unchanged."""
+        from repro.ground import parse_rules, Grounder
+        from repro.logic.parser import parse_database
+
+        text = "a | b. c :- a, not d. :- c, d."
+        db = Grounder(parse_rules(text)).ground()
+        assert db == parse_database(
+            "a | b. c :- a, not d. :- c, d."
+        )
+
+    def test_grounding_commutes_with_constant_renaming(self):
+        """Renaming constants before or after grounding is the same."""
+        from repro.ground import ground_program
+        from repro.logic.transform import rename_atoms
+
+        text = "e(a, b). e(b, c). r(X, Y) :- e(X, Y). t(X) :- r(X, Y)."
+        swapped = text.replace("a", "z")
+        direct = ground_program(swapped)
+        renamed = rename_atoms(
+            ground_program(text),
+            lambda atom: atom.replace("a", "z"),
+        )
+        assert direct == renamed
+
+    def test_ground_semantics_matches_hand_grounding(self):
+        """Grounding then DSM equals the hand-written ground program."""
+        from repro.ground import ground_program
+        from repro.logic.parser import parse_database
+        from repro.semantics import get_semantics
+
+        grounded = ground_program(
+            "move(a, b). move(b, a). win(X) :- move(X, Y), not win(Y)."
+        )
+        manual = parse_database(
+            """
+            move(a,b). move(b,a).
+            win(a) :- move(a,b), not win(b).
+            win(b) :- move(b,a), not win(a).
+            """
+        )
+        assert grounded == manual
+        assert get_semantics("dsm").model_set(grounded) == get_semantics(
+            "dsm"
+        ).model_set(manual)
+
+    def test_transitive_closure_grounding(self):
+        from repro.ground import ground_program
+        from repro.semantics import get_semantics
+
+        db = ground_program(
+            """
+            e(a, b). e(b, c). e(c, d).
+            path(X, Y) :- e(X, Y).
+            path(X, Z) :- e(X, Y), path(Y, Z).
+            """
+        )
+        egcwa = get_semantics("egcwa")
+        assert egcwa.infers_literal(db, "path(a,d)")
+        assert egcwa.infers_literal(db, "not path(d,a)")

@@ -1,0 +1,101 @@
+"""Tests for the Iterated CWA."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NotStratifiedError
+from repro.logic.parser import parse_database, parse_formula
+from repro.semantics import get_semantics
+from repro.semantics.icwa import icwa_models_by_intersection, priority_levels
+from repro.semantics.stratification import require_stratification
+
+from conftest import databases, positive_databases
+
+
+class TestIcwaBasics:
+    def test_trivial_stratification_gives_egcwa(self, simple_db):
+        """Paper Thm 4.2: with S = <V>, ICWA coincides with EGCWA."""
+        icwa = get_semantics("icwa").model_set(simple_db)
+        egcwa = get_semantics("egcwa").model_set(simple_db)
+        assert icwa == egcwa
+
+    def test_stratified_negation(self):
+        db = parse_database("a :- not b.")
+        models = get_semantics("icwa").model_set(db)
+        assert {frozenset(m) for m in models} == {frozenset({"a"})}
+
+    def test_unstratified_rejected(self, unstratified_db):
+        with pytest.raises(NotStratifiedError):
+            get_semantics("icwa").model_set(unstratified_db)
+
+    def test_has_model_is_constant_true_for_stratified(self, stratified_db):
+        assert get_semantics("icwa").has_model(stratified_db)
+
+    def test_has_model_raises_for_unstratified(self, unstratified_db):
+        with pytest.raises(NotStratifiedError):
+            get_semantics("icwa").has_model(unstratified_db)
+
+    def test_explicit_stratification_accepted(self, simple_db):
+        stratification = require_stratification(simple_db)
+        icwa = get_semantics("icwa", stratification=stratification)
+        assert icwa.model_set(simple_db) == get_semantics(
+            "egcwa"
+        ).model_set(simple_db)
+
+    def test_partition_with_floating_atoms(self):
+        db = parse_database("a | z.")
+        icwa = get_semantics("icwa", p=["a"], z=["z"])
+        models = {frozenset(m) for m in icwa.model_set(db)}
+        assert models == {frozenset({"z"})}
+
+
+class TestPriorityLevels:
+    def test_levels_follow_strata(self, stratified_db):
+        stratification = require_stratification(stratified_db)
+        levels = priority_levels(
+            stratification, frozenset(stratified_db.vocabulary)
+        )
+        assert [sorted(level) for level in levels] == [
+            sorted(stratum) for stratum in stratification.strata
+        ]
+
+    def test_empty_levels_dropped(self, stratified_db):
+        stratification = require_stratification(stratified_db)
+        levels = priority_levels(stratification, frozenset({"d"}))
+        assert levels == [frozenset({"d"})]
+
+
+class TestIntersectionCharacterization:
+    @given(databases(allow_ic=False, max_clauses=4))
+    def test_lexicographic_equals_intersection(self, db):
+        """[12, Sec. 6]: iterated ECWA = intersection of level-wise
+        ECWAs = lexicographically minimal models."""
+        from repro.semantics.stratification import stratify
+
+        stratification = stratify(db)
+        if stratification is None:
+            return  # not a DSDB: ICWA undefined
+        icwa = get_semantics("icwa")
+        lex = icwa.model_set(db)
+        levels = priority_levels(
+            stratification, frozenset(db.vocabulary)
+        )
+        intersection = icwa_models_by_intersection(db, levels, frozenset())
+        assert lex == intersection
+
+    @given(databases(allow_ic=False, max_clauses=4))
+    def test_oracle_matches_brute(self, db):
+        from repro.semantics.stratification import is_stratified
+
+        if not is_stratified(db):
+            return
+        formula = parse_formula("a | ~b")
+        assert get_semantics("icwa").infers(db, formula) == get_semantics(
+            "icwa", engine="brute"
+        ).infers(db, formula)
+
+    @given(positive_databases(max_clauses=4))
+    def test_positive_icwa_is_egcwa(self, db):
+        assert get_semantics("icwa").model_set(db) == get_semantics(
+            "egcwa"
+        ).model_set(db)

@@ -1,0 +1,97 @@
+"""Tests for repro.logic.interpretation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.logic.formula import FALSE3, TRUE3, UNDEF3, And, Not, Var
+from repro.logic.interpretation import (
+    Interpretation,
+    ThreeValuedInterpretation,
+    all_interpretations,
+    all_three_valued,
+    interp,
+)
+
+
+class TestInterpretation:
+    def test_is_a_frozenset(self):
+        model = interp("a", "b")
+        assert isinstance(model, frozenset)
+        assert model == {"a", "b"}
+
+    def test_satisfies(self):
+        assert interp("a").satisfies(Var("a") | Var("b"))
+        assert not interp("a").satisfies(And(Var("a"), Var("b")))
+
+    def test_str_is_sorted(self):
+        assert str(interp("b", "a")) == "{a, b}"
+
+    def test_set_operations_work(self):
+        assert interp("a", "b") - {"a"} == {"b"}
+
+    def test_all_interpretations_counts(self):
+        models = list(all_interpretations(["a", "b", "c"]))
+        assert len(models) == 8
+        assert len(set(models)) == 8
+
+    def test_all_interpretations_empty_vocabulary(self):
+        assert list(all_interpretations([])) == [Interpretation()]
+
+
+class TestThreeValued:
+    def test_value_levels(self):
+        i = ThreeValuedInterpretation({"a"}, {"a", "b"})
+        assert i.value("a") == TRUE3
+        assert i.value("b") == UNDEF3
+        assert i.value("c") == FALSE3
+
+    def test_true_must_be_subset_of_possible(self):
+        with pytest.raises(ReproError):
+            ThreeValuedInterpretation({"a"}, set())
+
+    def test_undefined_and_totality(self):
+        i = ThreeValuedInterpretation({"a"}, {"a", "b"})
+        assert i.undefined == {"b"}
+        assert not i.is_total
+        assert ThreeValuedInterpretation.total({"a"}).is_total
+
+    def test_to_total_requires_totality(self):
+        with pytest.raises(ReproError):
+            ThreeValuedInterpretation(set(), {"a"}).to_total()
+        assert ThreeValuedInterpretation.total({"a"}).to_total() == {"a"}
+
+    def test_satisfies_requires_degree_one(self):
+        i = ThreeValuedInterpretation(set(), {"a"})
+        assert not i.satisfies(Var("a"))
+        assert i.degree(Var("a")) == UNDEF3
+        assert i.degree(Not(Var("a"))) == UNDEF3
+
+    def test_truth_ordering(self):
+        low = ThreeValuedInterpretation(set(), {"a"})
+        high = ThreeValuedInterpretation({"a"}, {"a"})
+        assert low.leq(high) and low.lt(high)
+        assert not high.leq(low)
+        assert low.leq(low) and not low.lt(low)
+
+    def test_ordering_is_pointwise(self):
+        left = ThreeValuedInterpretation({"a"}, {"a"})
+        right = ThreeValuedInterpretation({"b"}, {"b"})
+        assert not left.leq(right) and not right.leq(left)
+
+    def test_equality_and_hash(self):
+        a = ThreeValuedInterpretation({"a"}, {"a", "b"})
+        b = ThreeValuedInterpretation({"a"}, {"a", "b"})
+        assert a == b and hash(a) == hash(b)
+
+    def test_str_shows_degrees(self):
+        i = ThreeValuedInterpretation({"a"}, {"a", "b"})
+        assert str(i) == "{a=1, b=1/2}"
+
+    def test_all_three_valued_counts(self):
+        interpretations = list(all_three_valued(["a", "b"]))
+        assert len(interpretations) == 9
+        assert len(set(interpretations)) == 9
+
+    def test_valuation_mapping(self):
+        i = ThreeValuedInterpretation({"a"}, {"a", "b"})
+        assert i.valuation() == {"a": TRUE3, "b": UNDEF3}

@@ -1,0 +1,116 @@
+"""Tests for repro.logic.parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.clause import Clause
+from repro.logic.formula import And, Iff, Implies, Not, Or, Var
+from repro.logic.parser import parse_clause, parse_database, parse_formula
+
+
+class TestClauseParsing:
+    def test_fact(self):
+        assert parse_clause("a.") == Clause.fact("a")
+
+    def test_disjunctive_fact(self):
+        assert parse_clause("a | b.") == Clause.fact("a", "b")
+
+    def test_semicolon_head_separator(self):
+        assert parse_clause("a ; b.") == Clause.fact("a", "b")
+
+    def test_rule_with_negation(self):
+        assert parse_clause("a :- b, not c.") == Clause.rule(
+            ["a"], ["b"], ["c"]
+        )
+
+    def test_tilde_negation(self):
+        assert parse_clause("a :- ~c.") == Clause.rule(["a"], [], ["c"])
+
+    def test_left_arrow_alternative(self):
+        assert parse_clause("a <- b.") == Clause.rule(["a"], ["b"])
+
+    def test_integrity_clause(self):
+        assert parse_clause(":- a, b.") == Clause.integrity(["a", "b"])
+
+    def test_grounded_atoms_with_arguments(self):
+        clause = parse_clause("wins(x) :- plays(x, y).")
+        assert clause.head == {"wins(x)"}
+        assert clause.body_pos == {"plays(x, y)"}
+
+    def test_trailing_dot_optional(self):
+        assert parse_clause("a :- b") == Clause.rule(["a"], ["b"])
+
+    def test_comments_stripped(self):
+        assert parse_clause("a. % comment") == Clause.fact("a")
+
+    @pytest.mark.parametrize(
+        "bad", ["", ".", "| :- a.", "a :- ,.", "a :- 1x.", "a|2b."]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_clause(bad)
+
+
+class TestDatabaseParsing:
+    def test_multiline_database(self):
+        db = parse_database(
+            """
+            % choices
+            a | b.
+            c :- a.   # alt comment
+            :- b, c.
+            """
+        )
+        assert len(db) == 3
+        assert db.has_integrity_clauses
+
+    def test_empty_database(self):
+        assert len(parse_database("  % nothing\n")) == 0
+
+    def test_roundtrip(self):
+        text = "a | b.\nc :- a, not d."
+        db = parse_database(text)
+        assert parse_database(str(db)) == db
+
+
+class TestFormulaParsing:
+    def test_atom(self):
+        assert parse_formula("a") == Var("a")
+
+    def test_precedence_and_over_or(self):
+        assert parse_formula("a & b | c") == Or(And(Var("a"), Var("b")),
+                                                Var("c"))
+
+    def test_implication_is_right_associative(self):
+        formula = parse_formula("a -> b -> c")
+        assert formula == Implies(Var("a"), Implies(Var("b"), Var("c")))
+
+    def test_iff_lowest_precedence(self):
+        formula = parse_formula("a -> b <-> c")
+        assert isinstance(formula, Iff)
+
+    def test_negation_forms(self):
+        assert parse_formula("~a") == Not(Var("a"))
+        assert parse_formula("not a") == Not(Var("a"))
+
+    def test_parentheses(self):
+        formula = parse_formula("(a | b) & c")
+        assert isinstance(formula, And)
+
+    def test_constants(self):
+        assert parse_formula("true").evaluate(set())
+        assert not parse_formula("false").evaluate(set())
+
+    def test_not_prefix_of_identifier(self):
+        # "nothing" must parse as an atom, not "not hing".
+        assert parse_formula("nothing") == Var("nothing")
+
+    def test_str_roundtrip(self):
+        for text in ["a & (b | ~c)", "a -> b", "a <-> ~b", "(a & b) | c"]:
+            formula = parse_formula(text)
+            assert parse_formula(str(formula)) == formula
+
+    @pytest.mark.parametrize("bad", ["", "a &", "(a", "a b", "& a", "a ~"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_formula(bad)

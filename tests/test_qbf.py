@@ -1,0 +1,146 @@
+"""Tests for the 2QBF solver (repro.qbf)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.logic.formula import And, Not, Or, Var
+from repro.qbf.formula import (
+    QBF2,
+    dnf_formula,
+    exists_forall,
+    forall_exists,
+    substitute,
+)
+from repro.qbf.solver import (
+    is_valid,
+    solve_qbf2_brute,
+    solve_qbf2_cegar,
+)
+
+
+@st.composite
+def qbf2s(draw):
+    num_x = draw(st.integers(1, 3))
+    num_y = draw(st.integers(1, 3))
+    x = [f"x{i}" for i in range(num_x)]
+    y = [f"y{i}" for i in range(num_y)]
+    pool = x + y
+    num_terms = draw(st.integers(1, 4))
+    terms = []
+    for _ in range(num_terms):
+        chosen = draw(
+            st.lists(st.sampled_from(pool), min_size=1, max_size=3,
+                     unique=True)
+        )
+        signs = draw(
+            st.lists(st.booleans(), min_size=len(chosen),
+                     max_size=len(chosen))
+        )
+        positive = {a for a, s in zip(chosen, signs) if s}
+        negative = {a for a, s in zip(chosen, signs) if not s}
+        terms.append((positive, negative))
+    exists_first = draw(st.booleans())
+    matrix = dnf_formula(terms)
+    return QBF2(exists_first, frozenset(x), frozenset(y), matrix)
+
+
+class TestSubstitute:
+    def test_constants_simplify(self):
+        formula = And(Var("a"), Or(Var("b"), Not(Var("a"))))
+        reduced = substitute(formula, {"a": True})
+        assert reduced == Var("b")
+
+    def test_full_substitution_is_constant(self):
+        formula = Or(Var("a"), Var("b"))
+        from repro.logic.formula import Top
+
+        assert isinstance(substitute(formula, {"a": True, "b": False}), Top)
+
+    def test_implication_and_iff(self):
+        from repro.logic.formula import Iff, Implies
+
+        assert substitute(
+            Implies(Var("a"), Var("b")), {"a": False}
+        ).evaluate(set())
+        reduced = substitute(Iff(Var("a"), Var("b")), {"a": True})
+        assert reduced == Var("b")
+
+
+class TestQbf2Structure:
+    def test_blocks_must_not_overlap(self):
+        with pytest.raises(ReproError):
+            exists_forall(["x"], ["x"], Var("x"))
+
+    def test_matrix_atoms_must_be_quantified(self):
+        with pytest.raises(ReproError):
+            exists_forall(["x"], ["y"], Var("z"))
+
+    def test_negated_flips_quantifiers(self):
+        qbf = exists_forall(["x"], ["y"], Var("x"))
+        dual = qbf.negated()
+        assert not dual.exists_first
+        assert solve_qbf2_brute(qbf).valid != solve_qbf2_brute(dual).valid
+
+
+class TestKnownInstances:
+    def test_trivial_valid_exists_forall(self):
+        # ∃x ∀y: (x∧y) ∨ (x∧¬y) — pick x.
+        qbf = exists_forall(
+            ["x"], ["y"], dnf_formula([({"x", "y"}, set()),
+                                       ({"x"}, {"y"})])
+        )
+        assert is_valid(qbf, engine="brute")
+        assert is_valid(qbf, engine="cegar")
+
+    def test_invalid_exists_forall(self):
+        # ∃x ∀y: x∧¬y — y=true refutes every x.
+        qbf = exists_forall(["x"], ["y"], dnf_formula([({"x"}, {"y"})]))
+        assert not is_valid(qbf, engine="brute")
+        assert not is_valid(qbf, engine="cegar")
+
+    def test_forall_exists_valid(self):
+        # ∀x ∃y: (x∧y) ∨ (¬x∧¬y) — choose y = x.
+        qbf = forall_exists(
+            ["x"], ["y"], dnf_formula([({"x", "y"}, set()),
+                                       (set(), {"x", "y"})])
+        )
+        assert is_valid(qbf, engine="brute")
+        assert is_valid(qbf, engine="cegar")
+
+    def test_witness_returned_for_valid_exists(self):
+        qbf = exists_forall(
+            ["x"], ["y"], dnf_formula([({"x", "y"}, set()),
+                                       ({"x"}, {"y"})])
+        )
+        result = solve_qbf2_cegar(qbf)
+        assert result.valid and result.witness == {"x": True}
+
+    def test_unknown_engine_rejected(self):
+        qbf = exists_forall(["x"], ["y"], dnf_formula([({"x"}, set())]))
+        with pytest.raises(ValueError):
+            is_valid(qbf, engine="magic")
+
+
+class TestCegarAgainstBrute:
+    @given(qbf2s())
+    @settings(max_examples=40)
+    def test_agreement(self, qbf):
+        assert solve_qbf2_cegar(qbf).valid == solve_qbf2_brute(qbf).valid
+
+    @given(qbf2s())
+    @settings(max_examples=20)
+    def test_witness_is_genuine(self, qbf):
+        result = solve_qbf2_cegar(qbf)
+        if qbf.exists_first and result.valid:
+            # Verify ∀Y under the witness by brute inner check.
+            import itertools
+
+            y_atoms = sorted(qbf.y)
+            for bits in itertools.product([False, True],
+                                          repeat=len(y_atoms)):
+                assignment = dict(result.witness)
+                assignment.update(dict(zip(y_atoms, bits)))
+                truth = {a for a, v in assignment.items() if v}
+                assert qbf.matrix.evaluate(truth)

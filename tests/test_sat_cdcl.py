@@ -1,0 +1,257 @@
+"""Tests for the CDCL core (repro.sat.cdcl) and the DPLL reference."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetExceededError, SolverError
+from repro.sat.cdcl import CdclSolver, luby
+from repro.sat.dpll import solve_dpll
+
+
+def brute_sat(clauses, num_vars):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any((l > 0) == bits[abs(l) - 1] for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+@st.composite
+def int_cnfs(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=7))
+    num_clauses = draw(st.integers(min_value=1, max_value=20))
+    clauses = [
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        for _ in range(num_clauses)
+    ]
+    return num_vars, clauses
+
+
+def _solve_cdcl(clauses):
+    solver = CdclSolver()
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    return solver, (solver.solve() if ok else False)
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestBasics:
+    def test_empty_solver_is_sat(self):
+        assert CdclSolver().solve()
+
+    def test_unit_clauses(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-2])
+        assert solver.solve()
+        assert solver.model() == {1}
+
+    def test_empty_clause_is_unsat(self):
+        solver = CdclSolver()
+        assert not solver.add_clause([])
+        assert not solver.solve()
+
+    def test_conflicting_units(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        assert not solver.add_clause([-1])
+        assert not solver.solve()
+
+    def test_tautological_clause_ignored(self):
+        solver = CdclSolver()
+        assert solver.add_clause([1, -1])
+        assert solver.solve()
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SolverError):
+            CdclSolver().add_clause([1, 0])
+
+    def test_model_before_solve_raises(self):
+        with pytest.raises(SolverError):
+            CdclSolver().model()
+
+    def test_classic_unsat_core(self):
+        solver = CdclSolver()
+        for clause in ([1, 2], [1, -2], [-1, 2], [-1, -2]):
+            solver.add_clause(clause)
+        assert not solver.solve()
+
+
+class TestAgainstGroundTruth:
+    @given(int_cnfs())
+    @settings(max_examples=80)
+    def test_matches_brute_force(self, instance):
+        num_vars, clauses = instance
+        solver, result = _solve_cdcl(clauses)
+        assert result == brute_sat(clauses, num_vars)
+        if result:
+            model = solver.model()
+            assert all(
+                any((l > 0) == (abs(l) in model) for l in clause)
+                for clause in clauses
+            )
+
+    @given(int_cnfs())
+    @settings(max_examples=40)
+    def test_matches_dpll(self, instance):
+        _num_vars, clauses = instance
+        _solver, cdcl_result = _solve_cdcl(clauses)
+        dpll_result = solve_dpll(clauses)
+        assert cdcl_result == (dpll_result is not None)
+
+
+class TestAssumptions:
+    def test_assumptions_constrain(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve([-1])
+        assert 2 in solver.model()
+        assert not solver.solve([-1, -2])
+
+    def test_assumptions_do_not_persist(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert not solver.solve([-1, -2])
+        assert solver.solve()  # constraint gone
+
+    def test_contradictory_assumptions(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        assert not solver.solve([1, -1])
+
+    def test_incremental_clause_addition(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve()
+        solver.add_clause([-1])
+        assert solver.solve()
+        assert solver.model() >= {2}
+        solver.add_clause([-2])
+        assert not solver.solve()
+        assert not solver.solve()  # stays unsat
+
+
+class TestBudget:
+    def test_conflict_budget_raises(self):
+        # Pigeonhole 5->4 forces many conflicts.
+        solver = CdclSolver(max_conflicts=3)
+        pigeons, holes = 5, 4
+        var = lambda p, h: p * holes + h + 1  # noqa: E731
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        with pytest.raises(BudgetExceededError):
+            solver.solve()
+
+
+class TestStats:
+    def test_stats_accumulate(self):
+        solver = CdclSolver()
+        for clause in ([1, 2], [1, -2], [-1, 2], [-1, -2]):
+            solver.add_clause(clause)
+        solver.solve()
+        stats = solver.stats.snapshot()
+        assert stats["solve_calls"] == 1
+        assert stats["conflicts"] >= 1
+
+
+class TestDpll:
+    def test_unsat(self):
+        assert solve_dpll([[1], [-1]]) is None
+
+    def test_model_returned(self):
+        model = solve_dpll([[1, 2], [-1]])
+        assert model == {2}
+
+    def test_empty_input_is_sat(self):
+        assert solve_dpll([]) == set()
+
+    def test_pure_literal_toggle(self):
+        clauses = [[1, 2], [1, 3], [-2, -3]]
+        assert solve_dpll(clauses, use_pure_literals=False) is not None
+        assert solve_dpll(clauses, use_pure_literals=True) is not None
+
+    def test_pigeonhole_unsat(self):
+        pigeons, holes = 4, 3
+        var = lambda p, h: p * holes + h + 1  # noqa: E731
+        clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        assert solve_dpll(clauses) is None
+
+
+class TestLearnedClauseSoundness:
+    @given(int_cnfs())
+    @settings(max_examples=40)
+    def test_learned_clauses_are_entailed(self, instance):
+        """Every clause the solver learns is a logical consequence of the
+        input CNF (soundness of 1UIP resolution + minimization)."""
+        num_vars, clauses = instance
+        solver = CdclSolver()
+        ok = True
+        for clause in clauses:
+            ok = solver.add_clause(clause) and ok
+        if ok:
+            solver.solve()
+        for learned in solver.learned_clauses():
+            # clauses |= learned  <=>  clauses + ~learned unsatisfiable
+            negation = [[-l] for l in learned]
+            assert not brute_sat(clauses + negation, num_vars), (
+                clauses, learned,
+            )
+
+    def test_learned_clause_accessor_shape(self):
+        solver = CdclSolver()
+        for clause in ([1, 2], [1, -2], [-1, 2], [-1, -2]):
+            solver.add_clause(clause)
+        solver.solve()
+        for clause in solver.learned_clauses():
+            assert isinstance(clause, list)
+            assert all(isinstance(l, int) and l != 0 for l in clause)
+
+
+class TestIncrementalStress:
+    def test_many_solve_calls_with_interleaved_additions(self):
+        """Incremental use across dozens of solve calls stays sound."""
+        import random
+
+        rng = random.Random(42)
+        solver = CdclSolver()
+        reference: list = []
+        for step in range(60):
+            clause = [
+                rng.choice([1, -1]) * rng.randint(1, 6)
+                for _ in range(rng.randint(1, 3))
+            ]
+            reference.append(clause)
+            solver.add_clause(clause)
+            got = solver.solve()
+            expected = brute_sat(reference, 6)
+            assert got == expected, (step, reference)
+            if not got:
+                break

@@ -1,0 +1,127 @@
+"""The inference-strength lattice across semantics, as property tests.
+
+For positive (IC-free) DDBs the literature orders the closed-world
+semantics by the model sets they select (smaller selected set = stronger
+inference):
+
+    M(DB) ⊇ DDR(DB) ⊇ GCWA(DB) ⊇ EGCWA(DB) = MM(DB)
+    M(DB) ⊇ DDR(DB) ⊇ PWS(DB)  ⊇ EGCWA(DB)
+
+with GCWA and PWS *incomparable*: a possible model may contain an atom
+GCWA negates (in ``{a., a|b.}`` the possible model ``{a, b}`` survives
+PWS but not GCWA), and a GCWA model may be unsupported (in
+``{a|b., c :- a.}`` the model ``{b, c}`` survives GCWA but not PWS).
+Consequently cautious consequence is ordered
+
+    classical ⊆ DDR-inference ⊆ {GCWA-, PWS-}inference ⊆ EGCWA-inference
+
+Every inclusion — and both non-inclusions — is verified here on random
+databases.
+"""
+
+from hypothesis import given
+
+from repro.logic.parser import parse_formula
+from repro.models.enumeration import all_models
+from repro.semantics import get_semantics
+
+from conftest import positive_databases
+
+QUERIES = [
+    parse_formula(text)
+    for text in ("~a | ~b", "a | b", "a -> c", "~c", "b & ~a")
+]
+
+
+def _models(db, name):
+    return {frozenset(m) for m in get_semantics(name).model_set(db)}
+
+
+@given(positive_databases(max_clauses=4))
+def test_model_set_inclusions(db):
+    classical = {frozenset(m) for m in all_models(db)}
+    ddr = _models(db, "ddr")
+    gcwa = _models(db, "gcwa")
+    pws = _models(db, "pws")
+    egcwa = _models(db, "egcwa")
+    assert egcwa <= gcwa <= ddr <= classical
+    assert egcwa <= pws <= ddr
+
+
+@given(positive_databases(max_clauses=4))
+def test_inference_strength_ordering(db):
+    """Smaller model sets infer more: every DDR consequence is a GCWA
+    consequence, every GCWA consequence an EGCWA consequence."""
+    from repro.sat.solver import entails_classically
+
+    ddr = get_semantics("ddr")
+    gcwa = get_semantics("gcwa")
+    pws = get_semantics("pws")
+    egcwa = get_semantics("egcwa")
+    for query in QUERIES:
+        if entails_classically(db, query):
+            assert ddr.infers(db, query)
+        if ddr.infers(db, query):
+            assert gcwa.infers(db, query)
+        if gcwa.infers(db, query):
+            assert egcwa.infers(db, query)
+        if pws.infers(db, query):
+            assert egcwa.infers(db, query)
+        if ddr.infers(db, query):
+            assert pws.infers(db, query)
+
+
+def test_gcwa_and_pws_are_incomparable():
+    """The two witnesses from the docstring, verified."""
+    from repro.logic.parser import parse_database
+
+    db1 = parse_database("a. a | b.")
+    assert frozenset({"a", "b"}) in _models(db1, "pws")
+    assert frozenset({"a", "b"}) not in _models(db1, "gcwa")
+
+    db2 = parse_database("a | b. c :- a.")
+    assert frozenset({"b", "c"}) in _models(db2, "gcwa")
+    assert frozenset({"b", "c"}) not in _models(db2, "pws")
+
+
+@given(positive_databases(max_clauses=4))
+def test_negative_literal_strength(db):
+    """On the closure view: WGCWA/DDR negates a subset of what GCWA
+    negates (the 'weak' in Weak GCWA)."""
+    ddr_negated = get_semantics("ddr").negated_atoms(db)
+    from repro.semantics.gcwa import free_for_negation
+
+    assert ddr_negated <= free_for_negation(db)
+
+
+@given(positive_databases(max_clauses=4))
+def test_all_minimal_model_semantics_coincide_on_positive(db):
+    """EGCWA, ECWA (full P), CIRC, PERF, ICWA, DSM all select MM(DB) on
+    positive databases — six implementations, one answer."""
+    reference = _models(db, "egcwa")
+    for name in ("ecwa", "circ", "perf", "icwa", "dsm"):
+        assert _models(db, name) == reference, name
+
+
+@given(positive_databases(max_clauses=3))
+def test_total_pdsm_also_coincides_on_positive(db):
+    reference = _models(db, "egcwa")
+    pdsm_total = {
+        frozenset(m.to_total())
+        for m in get_semantics("pdsm").model_set(db)
+        if m.is_total
+    }
+    assert pdsm_total == reference
+
+
+@given(positive_databases(max_clauses=4))
+def test_brave_cautious_duality(db):
+    """Cautious inference of F fails iff brave inference of ¬F succeeds
+    (whenever the selected model set is nonempty)."""
+    from repro.logic.formula import Not
+
+    egcwa = get_semantics("egcwa")
+    for query in QUERIES[:3]:
+        cautious = egcwa.infers(db, query)
+        brave_negation = egcwa.infers_brave(db, Not(query))
+        assert cautious == (not brave_negation)

@@ -1,0 +1,159 @@
+"""Tests for CNF preprocessing (repro.sat.simplify)."""
+
+import itertools
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.atoms import Literal
+from repro.sat.simplify import (
+    eliminate_pure_literals,
+    pure_literals,
+    remove_subsumed,
+    self_subsume,
+    simplify_cnf,
+    unit_propagate,
+)
+
+ATOMS = ["a", "b", "c", "d"]
+
+
+def _lit(atom, sign=True):
+    return Literal(atom, sign)
+
+
+def _cnf_evaluate(cnf, model):
+    return all(
+        any((l.atom in model) == l.positive for l in clause)
+        for clause in cnf
+    )
+
+
+@st.composite
+def cnfs(draw):
+    count = draw(st.integers(0, 8))
+    cnf = []
+    for _ in range(count):
+        size = draw(st.integers(1, 3))
+        atoms = draw(
+            st.lists(st.sampled_from(ATOMS), min_size=size, max_size=size,
+                     unique=True)
+        )
+        signs = draw(st.lists(st.booleans(), min_size=size, max_size=size))
+        cnf.append(frozenset(Literal(a, s) for a, s in zip(atoms, signs)))
+    return cnf
+
+
+class TestUnitPropagation:
+    def test_forces_units(self):
+        cnf = [frozenset({_lit("a")}), frozenset({_lit("a", False),
+                                                  _lit("b")})]
+        residual, forced, unsat = unit_propagate(cnf)
+        assert not unsat
+        assert forced == {_lit("a"), _lit("b")}
+        assert residual == []
+
+    def test_detects_contradiction(self):
+        cnf = [frozenset({_lit("a")}), frozenset({_lit("a", False)})]
+        _residual, _forced, unsat = unit_propagate(cnf)
+        assert unsat
+
+    def test_empty_clause_from_shrinking(self):
+        cnf = [
+            frozenset({_lit("a")}),
+            frozenset({_lit("b")}),
+            frozenset({_lit("a", False), _lit("b", False)}),
+        ]
+        _residual, _forced, unsat = unit_propagate(cnf)
+        assert unsat
+
+    @given(cnfs())
+    def test_preserves_models(self, cnf):
+        residual, forced, unsat = unit_propagate(cnf)
+        for bits in itertools.product([False, True], repeat=len(ATOMS)):
+            model = {a for a, bit in zip(ATOMS, bits) if bit}
+            original = _cnf_evaluate(cnf, model)
+            forced_ok = all(
+                (l.atom in model) == l.positive for l in forced
+            )
+            simplified = (not unsat) and forced_ok and _cnf_evaluate(
+                residual, model
+            )
+            assert original == simplified
+
+
+class TestPureLiterals:
+    def test_detection(self):
+        cnf = [frozenset({_lit("a"), _lit("b", False)}),
+               frozenset({_lit("a"), _lit("b")})]
+        assert pure_literals(cnf) == {_lit("a")}
+
+    def test_elimination_preserves_satisfiability(self):
+        cnf = [frozenset({_lit("a"), _lit("b")}),
+               frozenset({_lit("a"), _lit("c", False)})]
+        residual, chosen = eliminate_pure_literals(cnf)
+        assert residual == []
+        assert _lit("a") in chosen
+
+
+class TestSubsumption:
+    def test_removes_supersets(self):
+        small = frozenset({_lit("a")})
+        big = frozenset({_lit("a"), _lit("b")})
+        assert remove_subsumed([big, small]) == [small]
+
+    def test_self_subsumption_strengthens(self):
+        # (a | b) and (a | ~b) -> (a) via self-subsuming resolution.
+        cnf = [frozenset({_lit("a"), _lit("b")}),
+               frozenset({_lit("a"), _lit("b", False)})]
+        strengthened = self_subsume(cnf)
+        assert frozenset({_lit("a")}) in strengthened
+
+    @given(cnfs())
+    def test_self_subsume_preserves_models(self, cnf):
+        strengthened = self_subsume(cnf)
+        for bits in itertools.product([False, True], repeat=len(ATOMS)):
+            model = {a for a, bit in zip(ATOMS, bits) if bit}
+            assert _cnf_evaluate(cnf, model) == _cnf_evaluate(
+                strengthened, model
+            )
+
+
+class TestPipeline:
+    @given(cnfs())
+    def test_equisatisfiable(self, cnf):
+        from repro.sat.solver import is_satisfiable
+
+        result = simplify_cnf(cnf)
+        if result.unsatisfiable:
+            assert not is_satisfiable(cnf)
+        else:
+            assert is_satisfiable(cnf) == is_satisfiable(
+                list(result.cnf) + [frozenset({l}) for l in result.fixed]
+            )
+
+    @given(cnfs())
+    def test_model_preserving_without_pure_literals(self, cnf):
+        result = simplify_cnf(cnf, use_pure_literals=False)
+        for bits in itertools.product([False, True], repeat=len(ATOMS)):
+            model = {a for a, bit in zip(ATOMS, bits) if bit}
+            original = _cnf_evaluate(cnf, model)
+            fixed_ok = all(
+                (l.atom in model) == l.positive for l in result.fixed
+            )
+            simplified = (
+                not result.unsatisfiable
+                and fixed_ok
+                and _cnf_evaluate(result.cnf, model)
+            )
+            assert original == simplified
+
+    def test_reduction_instances_shrink(self):
+        from repro.logic.cnf import database_to_cnf
+        from repro.complexity.reductions import qbf_to_minimal_entailment
+        from repro.workloads import random_qbf2
+
+        instance = qbf_to_minimal_entailment(random_qbf2(2, 2, seed=0))
+        cnf = database_to_cnf(instance.db)
+        result = simplify_cnf(cnf)
+        assert len(result.cnf) <= len(cnf)

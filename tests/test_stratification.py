@@ -1,0 +1,93 @@
+"""Tests for repro.semantics.stratification."""
+
+import pytest
+
+from repro.errors import NotStratifiedError
+from repro.logic.parser import parse_clause, parse_database
+from repro.semantics.stratification import (
+    is_stratified,
+    require_stratification,
+    stratify,
+)
+from repro.workloads import random_stratified_db, win_move_cycle, win_move_path
+
+
+class TestStratify:
+    def test_positive_db_is_single_stratum(self, simple_db):
+        stratification = stratify(simple_db)
+        assert len(stratification) == 1
+        assert stratification.strata[0] == simple_db.vocabulary
+
+    def test_negation_creates_strata(self, stratified_db):
+        stratification = stratify(stratified_db)
+        assert stratification is not None
+        # d depends negatively on c, so d sits strictly above c.
+        assert stratification.level("d") > stratification.level("c")
+
+    def test_unstratified_loop_detected(self, unstratified_db):
+        assert stratify(unstratified_db) is None
+        assert not is_stratified(unstratified_db)
+
+    def test_odd_cycle_not_stratified(self):
+        assert not is_stratified(win_move_cycle(3))
+
+    def test_even_cycle_not_stratified(self):
+        # Even loops have stable models but are still unstratifiable.
+        assert not is_stratified(win_move_cycle(2))
+
+    def test_path_is_stratified(self):
+        db = win_move_path(5)
+        stratification = stratify(db)
+        assert stratification is not None
+        # win1 :- not win2 => level(win1) > level(win2).
+        assert stratification.level("win1") > stratification.level("win2")
+
+    def test_positive_cycles_are_fine(self):
+        db = parse_database("a :- b. b :- a.")
+        stratification = stratify(db)
+        assert stratification is not None
+        assert stratification.level("a") == stratification.level("b")
+
+    def test_heads_share_a_stratum(self):
+        db = parse_database("a | b :- not c. d :- not a.")
+        stratification = stratify(db)
+        assert stratification.level("a") == stratification.level("b")
+        assert stratification.level("d") > stratification.level("a")
+
+    def test_require_raises(self, unstratified_db):
+        with pytest.raises(NotStratifiedError):
+            require_stratification(unstratified_db)
+
+    def test_every_atom_in_exactly_one_stratum(self, stratified_db):
+        stratification = stratify(stratified_db)
+        seen = [a for stratum in stratification.strata for a in stratum]
+        assert sorted(seen) == sorted(stratified_db.vocabulary)
+
+
+class TestStratificationValidity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_stratifications_satisfy_conditions(self, seed):
+        db = random_stratified_db(6, 8, seed=seed)
+        stratification = require_stratification(db)
+        for clause in db.clauses:
+            if not clause.head:
+                continue
+            head_level = stratification.level(next(iter(clause.head)))
+            for atom in clause.head:
+                assert stratification.level(atom) == head_level
+            for atom in clause.body_pos:
+                assert stratification.level(atom) <= head_level
+            for atom in clause.body_neg:
+                assert stratification.level(atom) < head_level
+
+    def test_clause_level(self, stratified_db):
+        stratification = stratify(stratified_db)
+        clause = parse_clause("d :- b, not c.")
+        assert stratification.clause_level(clause) == stratification.level("d")
+        ic = parse_clause(":- a, d.")
+        assert stratification.clause_level(ic) == stratification.level("d")
+
+    def test_priority_levels_order(self, stratified_db):
+        stratification = stratify(stratified_db)
+        levels = stratification.priority_levels()
+        assert levels[0] == stratification.strata[0]

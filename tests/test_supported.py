@@ -1,0 +1,101 @@
+"""Tests for Clark completion / supported models (and Fages' theorem)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NotPositiveError
+from repro.logic.parser import parse_database, parse_formula
+from repro.semantics import get_semantics
+from repro.semantics.supported import (
+    clark_completion,
+    is_supported_model,
+    is_tight,
+)
+
+from test_wfs_cwa_state import normal_programs
+
+
+class TestCompletion:
+    def test_headless_atom_is_forced_false(self):
+        db = parse_database("a :- b.")
+        completion = clark_completion(db)
+        # b has no rules: completion forces b false, hence a false.
+        assert completion.evaluate(set())
+        assert not completion.evaluate({"b"})
+        assert not completion.evaluate({"a"})
+
+    def test_fact_is_forced_true(self):
+        db = parse_database("a.")
+        completion = clark_completion(db)
+        assert completion.evaluate({"a"})
+        assert not completion.evaluate(set())
+
+    def test_integrity_clauses_kept(self):
+        db = parse_database("a. :- a.")
+        assert not get_semantics("supported").has_model(db)
+
+    def test_rejects_disjunctive(self, simple_db):
+        with pytest.raises(NotPositiveError):
+            clark_completion(simple_db)
+
+    @given(normal_programs())
+    def test_completion_models_are_supported_models(self, db):
+        from repro.logic.interpretation import all_interpretations
+
+        completion = clark_completion(db)
+        for model in all_interpretations(db.vocabulary):
+            assert completion.evaluate(model) == is_supported_model(
+                db, model
+            )
+
+
+class TestSupportedSemantics:
+    def test_positive_loop_is_supported_not_stable(self):
+        """The classic separation: a :- a supports {a} (the rule fires)
+        but {a} is not stable (the reduct's minimal model is empty)."""
+        db = parse_database("a :- a.")
+        supported = get_semantics("supported").model_set(db)
+        stable = get_semantics("dsm").model_set(db)
+        assert frozenset({"a"}) in {frozenset(m) for m in supported}
+        assert frozenset({"a"}) not in {frozenset(m) for m in stable}
+
+    def test_inference(self):
+        db = parse_database("a :- not b.")
+        supported = get_semantics("supported")
+        assert supported.infers(db, parse_formula("a | b"))
+        assert not supported.infers_literal(db, "b")
+
+    @given(normal_programs())
+    def test_oracle_matches_brute(self, db):
+        oracle = get_semantics("supported").model_set(db)
+        brute = get_semantics("supported", engine="brute").model_set(db)
+        assert oracle == brute
+
+    @given(normal_programs())
+    def test_stable_models_are_supported(self, db):
+        supported = get_semantics("supported").model_set(db)
+        stable = get_semantics("dsm").model_set(db)
+        assert stable <= supported
+
+    @given(normal_programs())
+    def test_fages_theorem(self, db):
+        """On tight programs (no positive cycles) supported = stable."""
+        if not is_tight(db):
+            return
+        supported = get_semantics("supported").model_set(db)
+        stable = get_semantics("dsm").model_set(db)
+        assert supported == stable
+
+
+class TestTightness:
+    def test_positive_cycle_detected(self):
+        assert not is_tight(parse_database("a :- b. b :- a."))
+
+    def test_negative_cycles_do_not_matter(self):
+        assert is_tight(parse_database("a :- not b. b :- not a."))
+
+    def test_self_loop(self):
+        assert not is_tight(parse_database("a :- a."))
+
+    def test_acyclic(self):
+        assert is_tight(parse_database("a :- b, not c. b :- not c."))

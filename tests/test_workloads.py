@@ -1,0 +1,110 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.logic.cnf import cnf_atoms
+from repro.semantics.stratification import is_stratified
+from repro.workloads import (
+    chain,
+    disjunctive_chain,
+    exclusive_pairs,
+    exclusive_pairs_strict,
+    pigeonhole_cnf_db,
+    random_cnf,
+    random_deductive_db,
+    random_normal_db,
+    random_positive_db,
+    random_qbf2,
+    random_query_formula,
+    random_stratified_db,
+    stratified_tower,
+    win_move_cycle,
+    win_move_path,
+)
+
+
+class TestRandomGenerators:
+    def test_positive_db_regime(self):
+        db = random_positive_db(6, 8, seed=1)
+        assert db.is_positive
+        assert len(db.vocabulary) == 6
+
+    def test_deterministic_given_seed(self):
+        assert random_positive_db(5, 6, seed=7) == random_positive_db(
+            5, 6, seed=7
+        )
+        assert random_positive_db(5, 6, seed=7) != random_positive_db(
+            5, 6, seed=8
+        )
+
+    def test_deductive_db_has_ics_with_high_fraction(self):
+        db = random_deductive_db(6, 12, ic_fraction=0.9, seed=3)
+        assert db.has_integrity_clauses
+        assert db.is_deductive
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stratified_generator_invariant(self, seed):
+        assert is_stratified(random_stratified_db(6, 8, seed=seed))
+
+    def test_normal_db_can_have_negation(self):
+        db = random_normal_db(6, 10, neg_fraction=0.9, seed=0)
+        assert db.has_negation
+
+    def test_random_cnf_shape(self):
+        cnf = random_cnf(5, 9, width=3, seed=0)
+        assert len(cnf) == 9
+        assert cnf_atoms(cnf) <= {f"x{i}" for i in range(1, 6)}
+
+    def test_random_qbf2_is_exists_forall(self):
+        qbf = random_qbf2(2, 3, seed=0)
+        assert qbf.exists_first
+        assert len(qbf.x) == 2 and len(qbf.y) == 3
+
+    def test_random_query_formula_atoms(self):
+        formula = random_query_formula(["a", "b"], depth=3, seed=0)
+        assert formula.atoms() <= {"a", "b"}
+
+
+class TestFamilies:
+    def test_exclusive_pairs_minimal_model_count(self):
+        from repro.models.enumeration import minimal_models_brute
+
+        assert len(minimal_models_brute(exclusive_pairs(3))) == 8
+
+    def test_exclusive_pairs_strict_model_count(self):
+        from repro.models.enumeration import all_models
+
+        assert len(all_models(exclusive_pairs_strict(3))) == 8
+
+    def test_chain_unique_minimal_model(self):
+        from repro.models.enumeration import minimal_models_brute
+
+        (model,) = minimal_models_brute(chain(4))
+        assert model == {"a1", "a2", "a3", "a4"}
+
+    def test_disjunctive_chain_grows(self):
+        from repro.models.enumeration import minimal_models_brute
+
+        counts = [
+            len(minimal_models_brute(disjunctive_chain(n)))
+            for n in (1, 2, 3)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_win_move_cycle_parity(self):
+        from repro.semantics import get_semantics
+
+        assert not get_semantics("dsm").has_model(win_move_cycle(3))
+        assert get_semantics("dsm").has_model(win_move_cycle(4))
+
+    def test_win_move_path_stratified(self):
+        assert is_stratified(win_move_path(6))
+
+    def test_stratified_tower_is_stratified(self):
+        assert is_stratified(stratified_tower(3))
+
+    def test_pigeonhole_unsat(self):
+        from repro.sat.solver import database_is_consistent
+
+        assert not database_is_consistent(pigeonhole_cnf_db(3))
+        assert not database_is_consistent(pigeonhole_cnf_db(4))
