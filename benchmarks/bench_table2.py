@@ -9,10 +9,13 @@ Run with::
     pytest benchmarks/bench_table2.py --benchmark-only
 """
 
+import time
+
 import pytest
 
 from repro.complexity.machines import theta_inference
 from repro.complexity.oracles import count_sat_calls
+from repro.engine.cache import ENGINE_CACHE
 from repro.logic.atoms import Literal
 from repro.semantics import get_semantics
 from repro.workloads import (
@@ -102,3 +105,50 @@ def test_ddr_literal_needs_oracle_with_ics(benchmark):
         semantics.infers_literal(db, literal)
     assert counter.calls >= 1
     benchmark(semantics.infers_literal, db, literal)
+
+
+# ----------------------------------------------------------------------
+# Memoizing engine: repeated-suite speedup on the Table 2 regimes.
+# ----------------------------------------------------------------------
+SUITE_SEEDS = range(4)
+
+
+def table2_suite():
+    """(row, db, query) triples — each row on its own regime's workload."""
+    return [
+        (row, _workload(row, seed=seed),
+         _query(_workload(row, seed=seed), seed=seed))
+        for row in ROWS
+        for seed in SUITE_SEEDS
+    ]
+
+
+def _run_suite_pass(suite) -> float:
+    start = time.perf_counter()
+    for row, db, query in suite:
+        semantics = get_semantics(row, engine="cached")
+        semantics.has_model(db)
+        semantics.infers_literal(db, Literal.neg(sorted(db.vocabulary)[0]))
+        semantics.infers(db, query)
+    return time.perf_counter() - start
+
+
+def test_cached_repeated_suite_speedup(capsys):
+    """The warm regeneration of the Table 2 suite must be >= 2x faster
+    than the cold one, with the hit counters accounting for every warm
+    lookup."""
+    ENGINE_CACHE.clear()
+    suite = table2_suite()
+    cold = _run_suite_pass(suite)
+    hits_after_cold = ENGINE_CACHE.stats()["hits"]
+    warm = _run_suite_pass(suite)
+    stats = ENGINE_CACHE.stats()
+    warm_hits = stats["hits"] - hits_after_cold
+    with capsys.disabled():
+        print(
+            f"\n[table2 cached suite] cold={cold:.3f}s warm={warm:.3f}s "
+            f"speedup={cold / warm:.1f}x warm_hits={warm_hits} "
+            f"(hit rate {stats['hit_rate']:.1%})"
+        )
+    assert warm * 2 <= cold, (cold, warm)
+    assert warm_hits == len(suite) * 3

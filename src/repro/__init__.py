@@ -58,6 +58,10 @@ __all__ = [
     "model_set",
     "Answer",
     "DatabaseSession",
+    "ENGINE_CACHE",
+    "CachedSemantics",
+    "cache_stats",
+    "clear_cache",
 ]
 
 from .semantics import (  # noqa: E402  (re-export after logic)
@@ -69,3 +73,9 @@ from .semantics import (  # noqa: E402  (re-export after logic)
     model_set,
 )
 from .session import Answer, DatabaseSession  # noqa: E402
+from .engine import (  # noqa: E402
+    ENGINE_CACHE,
+    CachedSemantics,
+    cache_stats,
+    clear_cache,
+)

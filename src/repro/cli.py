@@ -8,7 +8,9 @@ Subcommands:
 * ``stratify FILE`` — show the canonical stratification;
 * ``closure FILE`` — the GCWA / WGCWA / EGCWA closure objects;
 * ``ground FILE`` — ground a non-ground (variable) program;
-* ``tables [--evidence]`` — regenerate the paper's Tables 1 and 2.
+* ``tables [--evidence]`` — regenerate the paper's Tables 1 and 2;
+* ``cache [FILE]`` — exercise the memoizing engine and print the
+  process-wide cache statistics (hits/misses/evictions, entries by kind).
 
 ``FILE`` is a database in the surface syntax (``-`` for stdin).
 """
@@ -141,6 +143,49 @@ def _cmd_ground(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from .engine.cache import ENGINE_CACHE
+
+    if args.clear:
+        ENGINE_CACHE.clear()
+    if args.limit is not None:
+        ENGINE_CACHE.configure(args.limit)
+    if args.file:
+        db = _read_database(args.file)
+        names = [n.strip() for n in args.semantics.split(",") if n.strip()]
+        for _ in range(max(1, args.repeat)):
+            for name in names:
+                semantics = get_semantics(name, engine="cached")
+                semantics.has_model(db)
+                semantics.model_set(db)
+                if args.query:
+                    semantics.infers(db, parse_formula(args.query))
+    stats = ENGINE_CACHE.stats()
+    print(f"entries:   {stats['entries']} / {stats['maxsize']}")
+    print(
+        f"lookups:   {stats['hits'] + stats['misses']}  "
+        f"(hits {stats['hits']}, misses {stats['misses']}, "
+        f"hit rate {stats['hit_rate']:.1%})"
+    )
+    print(f"evictions: {stats['evictions']}")
+    kinds = sorted(
+        set(stats["entries_by_kind"])
+        | set(stats["hits_by_kind"])
+        | set(stats["misses_by_kind"])
+        | set(stats["evictions_by_kind"])
+    )
+    if kinds:
+        print("by kind:")
+    for kind in kinds:
+        print(
+            f"  {kind:<20} entries={stats['entries_by_kind'].get(kind, 0):<5} "
+            f"hits={stats['hits_by_kind'].get(kind, 0):<5} "
+            f"misses={stats['misses_by_kind'].get(kind, 0):<5} "
+            f"evictions={stats['evictions_by_kind'].get(kind, 0)}"
+        )
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from .complexity.classes import Regime
     from .tables import render_table
@@ -186,9 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--engine",
-            choices=("oracle", "brute"),
+            choices=("oracle", "brute", "cached"),
             default="oracle",
-            help="decision engine",
+            help="decision engine ('cached' memoizes oracle results)",
         )
         sub.add_argument(
             "--p", help="comma-separated minimized atoms (CCWA/ECWA/ICWA)"
@@ -268,6 +313,35 @@ def build_parser() -> argparse.ArgumentParser:
     tables_cmd.add_argument("--instances", type=int, default=3)
     tables_cmd.add_argument("--atoms", type=int, default=4)
     tables_cmd.set_defaults(handler=_cmd_tables)
+
+    cache_cmd = commands.add_parser(
+        "cache",
+        help="exercise the memoizing engine and print cache statistics",
+    )
+    cache_cmd.add_argument(
+        "file", nargs="?",
+        help="database to query repeatedly through the cached engine",
+    )
+    cache_cmd.add_argument(
+        "--semantics", "-s", default="egcwa",
+        help="comma-separated semantics names to exercise",
+    )
+    cache_cmd.add_argument(
+        "--query", "-q", help="formula to infer on each pass"
+    )
+    cache_cmd.add_argument(
+        "--repeat", type=int, default=2,
+        help="number of identical passes (default 2: cold + warm)",
+    )
+    cache_cmd.add_argument(
+        "--limit", type=int, default=None,
+        help="re-bound the LRU entry limit before running",
+    )
+    cache_cmd.add_argument(
+        "--clear", action="store_true",
+        help="clear the cache (and its counters) first",
+    )
+    cache_cmd.set_defaults(handler=_cmd_cache)
 
     return parser
 

@@ -1,0 +1,62 @@
+"""The evaluation engine: memoization and parallel enumeration.
+
+Layered between :mod:`repro.logic`/:mod:`repro.models` below and
+:mod:`repro.semantics`/:mod:`repro.session` above:
+
+* :mod:`repro.engine.cache` — the bounded process-wide LRU memo store
+  (:data:`ENGINE_CACHE`) plus always-safe memoized helpers for pure
+  derived objects (minimal-model sets, priority relations, CNF forms);
+* :mod:`repro.engine.cached` — :class:`CachedSemantics`, the
+  ``engine="cached"`` façade memoizing ``model_set`` / ``infers`` /
+  ``infers_literal`` / ``infers_brave`` / ``has_model``;
+* :mod:`repro.engine.parallel` — process-pool enumeration of ``M(DB)`` /
+  ``MM(DB)`` and generic suite fan-out.
+
+See ``docs/performance_guide.md`` for the cache-key and eviction design.
+"""
+
+from .cache import (
+    DEFAULT_MAXSIZE,
+    ENGINE_CACHE,
+    EngineCache,
+    all_models_for,
+    cache_stats,
+    classical_clauses_for,
+    clear_cache,
+    configure_cache,
+    database_cnf_for,
+    minimal_models_for,
+    priority_relation_for,
+    pz_minimal_models_for,
+)
+from .cached import CachedSemantics
+from .parallel import (
+    MIN_PARALLEL_ATOMS,
+    default_workers,
+    parallel_all_models,
+    parallel_map,
+    parallel_minimal_models,
+    split_blocks,
+)
+
+__all__ = [
+    "DEFAULT_MAXSIZE",
+    "ENGINE_CACHE",
+    "EngineCache",
+    "CachedSemantics",
+    "MIN_PARALLEL_ATOMS",
+    "all_models_for",
+    "cache_stats",
+    "classical_clauses_for",
+    "clear_cache",
+    "configure_cache",
+    "database_cnf_for",
+    "default_workers",
+    "minimal_models_for",
+    "parallel_all_models",
+    "parallel_map",
+    "parallel_minimal_models",
+    "priority_relation_for",
+    "pz_minimal_models_for",
+    "split_blocks",
+]

@@ -1,0 +1,172 @@
+"""Process-pool parallel enumeration.
+
+Brute-force enumeration (``M(DB)``, ``MM(DB)``) is embarrassingly
+parallel: the ``2^|V|`` interpretation space splits into disjoint blocks
+by fixing the truth values of the first ``k`` vocabulary atoms, and each
+block enumerates independently.  This module fans those blocks out over a
+:class:`concurrent.futures.ProcessPoolExecutor`, and offers the same
+fan-out for mapping a function over a benchmark suite's instances.
+
+Everything shipped to workers (databases, interpretations, block specs)
+is picklable by construction; worker entry points are module-level
+functions.  When a pool cannot be created (restricted environments) or
+``max_workers <= 1``, every function degrades to the serial path, so
+callers need no fallback logic of their own.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..logic.database import DisjunctiveDatabase
+from ..logic.interpretation import Interpretation
+from ..models.enumeration import (
+    all_models,
+    minimal_models_brute,
+    models_in_block,
+)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this vocabulary size the serial enumerator wins outright and
+#: parallel dispatch is pure overhead.
+MIN_PARALLEL_ATOMS = 10
+
+
+def default_workers() -> int:
+    """The default worker count (CPU count, at least 2)."""
+    return max(2, os.cpu_count() or 2)
+
+
+def _make_pool(max_workers: int):
+    """A process pool, or ``None`` where one cannot be created."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=max_workers)
+    except (ImportError, NotImplementedError, OSError, PermissionError):
+        return None
+
+
+def split_blocks(
+    vocabulary: Iterable[str], num_blocks: int
+) -> List[Tuple[Tuple[str, ...], Tuple[str, ...]]]:
+    """Partition the interpretation space into ``>= num_blocks`` disjoint
+    blocks, each a ``(fixed_true, fixed_false)`` assignment of the first
+    ``k`` atoms (``2^k >= num_blocks``)."""
+    atoms = sorted(vocabulary)
+    k = 0
+    while (1 << k) < max(1, num_blocks) and k < len(atoms):
+        k += 1
+    prefix = atoms[:k]
+    blocks = []
+    for mask in range(1 << k):
+        fixed_true = tuple(
+            prefix[i] for i in range(k) if mask >> i & 1
+        )
+        fixed_false = tuple(
+            prefix[i] for i in range(k) if not mask >> i & 1
+        )
+        blocks.append((fixed_true, fixed_false))
+    return blocks
+
+
+def _enumerate_block(
+    args: Tuple[DisjunctiveDatabase, Tuple[str, ...], Tuple[str, ...]],
+) -> List[Interpretation]:
+    db, fixed_true, fixed_false = args
+    return models_in_block(db, fixed_true, fixed_false)
+
+
+def parallel_all_models(
+    db: DisjunctiveDatabase, max_workers: Optional[int] = None
+) -> List[Interpretation]:
+    """``M(DB)`` by block-parallel explicit enumeration.
+
+    Equals :func:`~repro.models.enumeration.all_models` as a set; the
+    result is returned in the deterministic binary-counter order of the
+    serial enumerator.
+    """
+    workers = default_workers() if max_workers is None else max_workers
+    if workers <= 1 or len(db.vocabulary) < MIN_PARALLEL_ATOMS:
+        return all_models(db)
+    pool = _make_pool(workers)
+    if pool is None:
+        return all_models(db)
+    blocks = split_blocks(db.vocabulary, workers)
+    with pool:
+        chunks = list(
+            pool.map(
+                _enumerate_block,
+                [(db, ft, ff) for ft, ff in blocks],
+            )
+        )
+    atoms = sorted(db.vocabulary)
+    rank = {a: i for i, a in enumerate(atoms)}
+    merged = [m for chunk in chunks for m in chunk]
+    merged.sort(key=lambda m: sum(1 << rank[a] for a in m))
+    return merged
+
+
+def _minimality_chunk(
+    args: Tuple[List[Interpretation], List[Interpretation]],
+) -> List[Interpretation]:
+    candidates, universe = args
+    return [
+        m for m in candidates if not any(other < m for other in universe)
+    ]
+
+
+def parallel_minimal_models(
+    db: DisjunctiveDatabase, max_workers: Optional[int] = None
+) -> List[Interpretation]:
+    """``MM(DB)`` by parallel enumeration plus a parallel pairwise
+    minimality filter (equals
+    :func:`~repro.models.enumeration.minimal_models_brute` as a set)."""
+    workers = default_workers() if max_workers is None else max_workers
+    if workers <= 1 or len(db.vocabulary) < MIN_PARALLEL_ATOMS:
+        return minimal_models_brute(db)
+    models = parallel_all_models(db, max_workers=workers)
+    if not models:
+        return []
+    pool = _make_pool(workers)
+    if pool is None:
+        return [
+            m for m in models if not any(other < m for other in models)
+        ]
+    chunk_size = max(1, (len(models) + workers - 1) // workers)
+    chunks = [
+        models[i : i + chunk_size]
+        for i in range(0, len(models), chunk_size)
+    ]
+    with pool:
+        filtered = list(
+            pool.map(
+                _minimality_chunk, [(chunk, models) for chunk in chunks]
+            )
+        )
+    return [m for chunk in filtered for m in chunk]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: Optional[int] = None,
+) -> List[R]:
+    """Map a picklable function over items with a process pool.
+
+    The benchmark suites use this to fan out per-instance work (one
+    database per task).  Order is preserved.  Serial fallback when the
+    pool is unavailable or ``max_workers <= 1``.
+    """
+    items = list(items)
+    workers = default_workers() if max_workers is None else max_workers
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    pool = _make_pool(min(workers, len(items)))
+    if pool is None:
+        return [fn(item) for item in items]
+    with pool:
+        return list(pool.map(fn, items))

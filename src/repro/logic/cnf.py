@@ -46,8 +46,15 @@ TSEITIN_PREFIX = "__ts"
 
 def database_to_cnf(db: DisjunctiveDatabase) -> Cnf:
     """The classical clause form of a database (no fresh atoms needed —
-    database clauses already *are* clauses)."""
-    return [frozenset(c.to_classical_literals()) for c in db.clauses]
+    database clauses already *are* clauses).
+
+    The translation is memoized process-wide (it is a pure function of
+    the immutable database); the returned list is a fresh copy, so
+    callers may extend it freely.
+    """
+    from ..engine.cache import database_cnf_for
+
+    return list(database_cnf_for(db))
 
 
 def clause_to_cnf(clause: Clause) -> CnfClause:

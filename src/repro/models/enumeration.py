@@ -20,6 +20,36 @@ def all_models(db: DisjunctiveDatabase) -> List[Interpretation]:
     return [m for m in all_interpretations(db.vocabulary) if db.is_model(m)]
 
 
+def models_in_block(
+    db: DisjunctiveDatabase,
+    fixed_true: Iterable[str] = (),
+    fixed_false: Iterable[str] = (),
+) -> List[Interpretation]:
+    """The classical models extending a partial assignment.
+
+    Enumerates the ``2^|free|`` interpretations that make ``fixed_true``
+    true and ``fixed_false`` false (the remaining vocabulary atoms are
+    free), in binary-counter order over the free atoms.  This is the
+    per-worker unit of the block-parallel enumerator in
+    :mod:`repro.engine.parallel`; fixing nothing recovers
+    :func:`all_models`.
+    """
+    base = frozenset(fixed_true)
+    fixed = base | frozenset(fixed_false)
+    free = sorted(frozenset(db.vocabulary) - fixed)
+    out = []
+    for mask in range(1 << len(free)):
+        candidate = Interpretation(
+            itertools.chain(
+                base,
+                (free[i] for i in range(len(free)) if mask >> i & 1),
+            )
+        )
+        if db.is_model(candidate):
+            out.append(candidate)
+    return out
+
+
 def minimal_models_brute(db: DisjunctiveDatabase) -> List[Interpretation]:
     """``MM(DB)`` — subset-minimal models, by pairwise comparison."""
     models = all_models(db)

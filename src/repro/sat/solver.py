@@ -88,12 +88,19 @@ class SatSolver:
 
     def add_database(self, db: DisjunctiveDatabase) -> None:
         """Assert the classical clause form of every database clause and
-        register the whole vocabulary (so models range over it)."""
+        register the whole vocabulary (so models range over it).
+
+        The clause translation is memoized process-wide: every decision
+        procedure builds fresh solvers for the same database over and
+        over, so the literal form is computed once per database.
+        """
+        from ..engine.cache import classical_clauses_for
+
         for atom in sorted(db.vocabulary):
             self.variables.intern(atom)
             self._core.ensure_var(self.variables.number(atom))
-        for clause in db.clauses:
-            self.add_clause(clause.to_classical_literals())
+        for literals in classical_clauses_for(db):
+            self.add_clause(literals)
 
     def add_database_clause(self, clause: Clause) -> None:
         """Assert one database clause."""

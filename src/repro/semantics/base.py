@@ -15,7 +15,11 @@ Each class offers an ``engine`` switch:
 * ``"oracle"`` (default) — the SAT/Σ₂ᵖ-oracle-backed decision procedures
   realizing the paper's upper bounds,
 * ``"brute"`` — explicit enumeration over ``2^|V|`` (or ``3^|V|``)
-  interpretations, the ground truth used in cross-validation tests.
+  interpretations, the ground truth used in cross-validation tests,
+* ``"cached"`` — the oracle engine behind the process-wide memo cache
+  (:mod:`repro.engine`); available through :func:`get_semantics` and the
+  session layer, which wrap the oracle instance in a
+  :class:`~repro.engine.cached.CachedSemantics` façade.
 
 The registry maps names and historical aliases (``"circ"``, ``"wgcwa"``,
 ``"pms"``, ...) to classes; :func:`get_semantics` instantiates by name and
@@ -34,8 +38,12 @@ from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not, Var
 from ..logic.interpretation import Interpretation
 
-#: Valid engine names.
-ENGINES = ("oracle", "brute")
+#: Valid engine names accepted by :func:`get_semantics`.
+ENGINES = ("oracle", "brute", "cached")
+
+#: Engines concrete semantics classes implement directly ("cached" is a
+#: wrapper realized by :mod:`repro.engine.cached`).
+CONCRETE_ENGINES = ("oracle", "brute")
 
 
 def literal_formula(literal: Literal) -> Formula:
@@ -74,7 +82,12 @@ class Semantics(ABC):
     description: str = ""
 
     def __init__(self, engine: str = "oracle"):
-        if engine not in ENGINES:
+        if engine == "cached":
+            raise ReproError(
+                "engine='cached' is a wrapper; obtain it via "
+                "get_semantics(name, engine='cached') or a session"
+            )
+        if engine not in CONCRETE_ENGINES:
             raise ReproError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
@@ -89,6 +102,19 @@ class Semantics(ABC):
         The default accepts everything; semantics defined only for
         deductive or stratified databases override this.
         """
+
+    # ------------------------------------------------------------------
+    # Memoization support
+    # ------------------------------------------------------------------
+    def cache_params(self) -> Tuple:
+        """The hashable constructor parameters that distinguish this
+        instance's answers — part of every memo-cache key built by the
+        cached engine.  Parameterless semantics return ``()``;
+        partition-parameterized semantics override (e.g. CCWA/ECWA return
+        their ``(P, Z)`` blocks) so distinct parameterizations never share
+        cache entries.
+        """
+        return ()
 
     # ------------------------------------------------------------------
     # The three decision problems
@@ -175,7 +201,18 @@ def get_semantics(name: str, **kwargs) -> Semantics:
     Keyword arguments are forwarded to the class constructor — e.g.
     ``get_semantics("ecwa", p=..., z=...)`` for partition-parameterized
     semantics, or ``engine="brute"`` for the enumeration engine.
+
+    ``engine="cached"`` returns the oracle instance wrapped in the
+    process-wide memoizing engine
+    (:class:`~repro.engine.cached.CachedSemantics`).
     """
+    if kwargs.get("engine") == "cached":
+        from ..engine.cached import CachedSemantics
+
+        inner = SEMANTICS[resolve_name(name)](
+            **{**kwargs, "engine": "oracle"}
+        )
+        return CachedSemantics(inner)
     return SEMANTICS[resolve_name(name)](**kwargs)
 
 

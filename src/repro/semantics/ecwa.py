@@ -56,6 +56,10 @@ class PartitionedSemantics(Semantics):
         q = frozenset(db.vocabulary) - p - self.z
         return db.check_partition(p, q, self.z)
 
+    def cache_params(self) -> "tuple":
+        # Distinct (P;Z) partitions must never share memo entries.
+        return ("p", self.p, "z", self.z)
+
 
 @register
 class Ecwa(PartitionedSemantics):

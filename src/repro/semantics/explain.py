@@ -174,9 +174,9 @@ def explain_non_inference(
             get_semantics("dsm")._iter_stable(db, condition=negated), None
         )
     elif name == "perf":
-        from .perf import PriorityRelation
+        from .perf import priorities_for
 
-        priorities = PriorityRelation(db)
+        priorities = priorities_for(db)
         witness = next(
             get_semantics("perf")._iter_perfect(
                 db, priorities, condition=negated

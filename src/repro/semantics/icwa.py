@@ -115,6 +115,17 @@ class Icwa(Semantics):
         if self.stratification is None:
             require_stratification(db)
 
+    def cache_params(self) -> "tuple":
+        # An explicit stratification changes the iteration order, so it
+        # participates in the memo key (by the strata themselves, not
+        # object identity).
+        strata = (
+            None
+            if self.stratification is None
+            else tuple(self.stratification.strata)
+        )
+        return ("p", self.p, "z", self.z, "strata", strata)
+
     def model_set(
         self, db: DisjunctiveDatabase
     ) -> FrozenSet[Interpretation]:

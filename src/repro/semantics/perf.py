@@ -112,6 +112,18 @@ class PriorityRelation:
         )
 
 
+def priorities_for(db: DisjunctiveDatabase) -> PriorityRelation:
+    """The database's priority relation, via the process-wide memo cache.
+
+    The relation is a pure function of the (immutable) database and its
+    Floyd–Warshall closure is cubic in ``|V|``, so every PERF entry point
+    shares one instance per database.
+    """
+    from ..engine.cache import priority_relation_for
+
+    return priority_relation_for(db)
+
+
 def preferable(
     n: Interpretation, m: Interpretation, priorities: PriorityRelation
 ) -> bool:
@@ -163,7 +175,7 @@ def is_perfect(
     if not db.is_model(model):
         return False
     if priorities is None:
-        priorities = PriorityRelation(db)
+        priorities = priorities_for(db)
     return preferable_witness(db, model, priorities) is None
 
 
@@ -185,7 +197,7 @@ class Perf(Semantics):
         self, db: DisjunctiveDatabase
     ) -> FrozenSet[Interpretation]:
         self.validate(db)
-        priorities = PriorityRelation(db)
+        priorities = priorities_for(db)
         if self.engine == "brute":
             from ..models.enumeration import all_models
 
@@ -228,7 +240,7 @@ class Perf(Semantics):
         formula = ground_query(db, formula)
         if self.engine == "brute":
             return super().infers(db, formula)
-        priorities = PriorityRelation(db)
+        priorities = priorities_for(db)
         for _counterexample in self._iter_perfect(
             db, priorities, condition=Not(formula)
         ):
@@ -240,7 +252,7 @@ class Perf(Semantics):
         formula = ground_query(db, formula)
         if self.engine == "brute":
             return super().infers_brave(db, formula)
-        priorities = PriorityRelation(db)
+        priorities = priorities_for(db)
         for _witness in self._iter_perfect(db, priorities,
                                            condition=formula):
             return True
@@ -254,7 +266,7 @@ class Perf(Semantics):
             return True
         if self.engine == "brute":
             return super().has_model(db)
-        priorities = PriorityRelation(db)
+        priorities = priorities_for(db)
         for _model in self._iter_perfect(db, priorities):
             return True
         return False

@@ -69,7 +69,11 @@ class DatabaseSession:
     Args:
         db: the database (immutable; derive a new session for updates).
         default_semantics: semantics used when a query names none.
-        engine: forwarded to every semantics instance.
+        engine: forwarded to every semantics instance; ``"cached"``
+            routes every query through the process-wide memo cache
+            (:mod:`repro.engine`), so repeated queries — also across
+            sessions over structurally equal databases — are answered
+            from cache.
         certificates: attach counter-model certificates to negative
             cautious answers (costs one extra witness search).
     """
@@ -132,7 +136,7 @@ class DatabaseSession:
             mode == "cautious"
             and not verdict
             and self.certificates
-            and self.engine == "oracle"
+            and self.engine in ("oracle", "cached")
         ):
             try:
                 certificate = explain_non_inference(
@@ -197,3 +201,11 @@ class DatabaseSession:
             "total_sat_calls": self.total_sat_calls,
             "semantics_cached": len(self._semantics_cache),
         }
+
+    def cache_stats(self) -> Dict:
+        """Statistics of the process-wide result cache backing
+        ``engine="cached"`` sessions (see
+        :meth:`repro.engine.cache.EngineCache.stats`)."""
+        from .engine.cache import cache_stats
+
+        return cache_stats()

@@ -10,7 +10,11 @@ are deterministic given a seed.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
+
+#: Generators accept either an integer seed or a caller-owned
+#: ``random.Random`` instance.
+Seed = Union[int, random.Random]
 
 from ..logic.clause import Clause
 from ..logic.database import DisjunctiveDatabase
@@ -21,12 +25,22 @@ def _atoms(count: int, prefix: str = "v") -> List[str]:
     return [f"{prefix}{i}" for i in range(1, count + 1)]
 
 
+def _rng(seed: Seed) -> random.Random:
+    """A generator RNG: an explicit ``random.Random`` is used as-is (and
+    advanced by the generator), an integer seeds a fresh one.  Either way
+    the sampled clauses are a pure function of the RNG state, so equal
+    seeds produce byte-identical databases across runs and platforms."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
 def random_positive_db(
     num_atoms: int,
     num_clauses: int,
     max_head: int = 3,
     max_body: int = 2,
-    seed: int = 0,
+    seed: Seed = 0,
     fact_fraction: float = 0.3,
 ) -> DisjunctiveDatabase:
     """A random *positive* DDB (Table 1 regime: no ICs, no negation).
@@ -36,10 +50,10 @@ def random_positive_db(
         num_clauses: number of clauses.
         max_head: maximum head width (heads are nonempty).
         max_body: maximum positive-body width.
-        seed: RNG seed.
+        seed: integer seed or an explicit ``random.Random`` instance.
         fact_fraction: fraction of clauses generated with empty bodies.
     """
-    rng = random.Random(seed)
+    rng = _rng(seed)
     atoms = _atoms(num_atoms)
     clauses: List[Clause] = []
     for _ in range(num_clauses):
@@ -60,10 +74,10 @@ def random_deductive_db(
     max_head: int = 3,
     max_body: int = 2,
     ic_fraction: float = 0.25,
-    seed: int = 0,
+    seed: Seed = 0,
 ) -> DisjunctiveDatabase:
     """A random DDDB *with integrity clauses* (Table 2 regime)."""
-    rng = random.Random(seed)
+    rng = _rng(seed)
     atoms = _atoms(num_atoms)
     clauses: List[Clause] = []
     for _ in range(num_clauses):
@@ -86,13 +100,13 @@ def random_stratified_db(
     max_head: int = 2,
     max_body: int = 2,
     neg_fraction: float = 0.4,
-    seed: int = 0,
+    seed: Seed = 0,
 ) -> DisjunctiveDatabase:
     """A random DSDB, stratified *by construction*: atoms are spread over
     ``num_strata`` layers; heads of one clause share a layer, positive
     body atoms come from the same or lower layers, negated atoms from
     strictly lower layers."""
-    rng = random.Random(seed)
+    rng = _rng(seed)
     atoms = _atoms(num_atoms)
     layer_of = {a: rng.randrange(num_strata) for a in atoms}
     by_layer: List[List[str]] = [[] for _ in range(num_strata)]
@@ -129,11 +143,11 @@ def random_normal_db(
     max_body: int = 2,
     neg_fraction: float = 0.4,
     ic_fraction: float = 0.0,
-    seed: int = 0,
+    seed: Seed = 0,
 ) -> DisjunctiveDatabase:
     """A random DNDB: arbitrary negation (possibly unstratified), optional
     integrity clauses."""
-    rng = random.Random(seed)
+    rng = _rng(seed)
     atoms = _atoms(num_atoms)
     clauses: List[Clause] = []
     for _ in range(num_clauses):

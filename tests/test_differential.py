@@ -1,0 +1,178 @@
+"""Differential test harness: cached vs. oracle vs. brute engines.
+
+Seeded random databases from :mod:`repro.workloads.random_db`, one batch
+per syntactic regime, are cross-checked across every registered paper
+semantics applicable to that regime: the memoizing ``cached`` engine,
+the uncached ``oracle`` decision procedures, and the ``brute``
+ground-truth enumerator must agree on ``model_set``, ``infers`` (on a
+seeded random query formula), ``infers_literal`` (both polarities) and
+``has_model``.
+
+The generators are deterministic given a seed (see
+``test_random_db_determinism.py``), so any disagreement reproduces
+byte-identically from the failing parameter id.  The harness quantifies
+over more than 200 databases in total (asserted by
+``test_coverage_floor``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import ENGINE_CACHE
+from repro.logic.atoms import Literal
+from repro.semantics import get_semantics
+from repro.workloads import (
+    random_deductive_db,
+    random_normal_db,
+    random_positive_db,
+    random_query_formula,
+    random_stratified_db,
+)
+
+#: How many seeded databases each regime contributes.
+COUNTS = {
+    "positive": 60,
+    "deductive": 60,
+    "stratified": 50,
+    "normal": 50,
+}
+
+#: Which registered semantics are defined on which regime.  ``ddr`` and
+#: ``pws`` reject negation, ``perf`` rejects integrity clauses, and
+#: ``icwa`` requires a stratification (normal databases may lack one).
+SEMANTICS_FOR = {
+    "positive": [
+        "gcwa", "ccwa", "egcwa", "ecwa", "circ", "ddr", "pws", "perf",
+        "icwa", "dsm", "pdsm",
+    ],
+    "deductive": [
+        "gcwa", "ccwa", "egcwa", "ecwa", "circ", "ddr", "pws", "icwa",
+        "dsm", "pdsm",
+    ],
+    "stratified": [
+        "gcwa", "ccwa", "egcwa", "ecwa", "circ", "perf", "icwa", "dsm",
+        "pdsm",
+    ],
+    "normal": ["gcwa", "ccwa", "egcwa", "ecwa", "circ", "dsm", "pdsm"],
+}
+
+
+def build_db(regime: str, seed: int):
+    """The ``seed``-th database of a regime (small enough for brute)."""
+    if regime == "positive":
+        return random_positive_db(4, 4, seed=seed)
+    if regime == "deductive":
+        return random_deductive_db(4, 5, seed=seed)
+    if regime == "stratified":
+        return random_stratified_db(4, 5, seed=seed)
+    if regime == "normal":
+        return random_normal_db(4, 5, ic_fraction=0.15, seed=seed)
+    raise ValueError(regime)
+
+
+def engines(name: str):
+    """(brute ground truth, uncached oracle, memoizing cached)."""
+    return (
+        get_semantics(name, engine="brute"),
+        get_semantics(name, engine="oracle"),
+        get_semantics(name, engine="cached"),
+    )
+
+
+def check_agreement(db, names, query_seed: int = 0) -> None:
+    """Assert three-engine agreement on every decision problem."""
+    query = random_query_formula(
+        sorted(db.vocabulary), depth=2, seed=query_seed
+    )
+    some_atom = sorted(db.vocabulary)[0]
+    literals = [Literal.pos(some_atom), Literal.neg(some_atom)]
+    for name in names:
+        brute, oracle, cached = engines(name)
+        expected_models = brute.model_set(db)
+        assert oracle.model_set(db) == expected_models, (name, "model_set")
+        assert cached.model_set(db) == expected_models, (name, "model_set")
+        expected = brute.infers(db, query)
+        assert oracle.infers(db, query) == expected, (name, "infers")
+        assert cached.infers(db, query) == expected, (name, "infers")
+        for literal in literals:
+            expected = brute.infers_literal(db, literal)
+            assert oracle.infers_literal(db, literal) == expected, (
+                name, "infers_literal", literal,
+            )
+            assert cached.infers_literal(db, literal) == expected, (
+                name, "infers_literal", literal,
+            )
+        expected = brute.has_model(db)
+        assert oracle.has_model(db) == expected, (name, "has_model")
+        assert cached.has_model(db) == expected, (name, "has_model")
+
+
+# ----------------------------------------------------------------------
+# One test per (regime, seed): the failing database is the parameter id.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(COUNTS["positive"]))
+def test_differential_positive(seed):
+    db = build_db("positive", seed)
+    check_agreement(db, SEMANTICS_FOR["positive"], query_seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(COUNTS["deductive"]))
+def test_differential_deductive(seed):
+    db = build_db("deductive", seed)
+    check_agreement(db, SEMANTICS_FOR["deductive"], query_seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(COUNTS["stratified"]))
+def test_differential_stratified(seed):
+    db = build_db("stratified", seed)
+    check_agreement(db, SEMANTICS_FOR["stratified"], query_seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(COUNTS["normal"]))
+def test_differential_normal(seed):
+    db = build_db("normal", seed)
+    check_agreement(db, SEMANTICS_FOR["normal"], query_seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Meta checks
+# ----------------------------------------------------------------------
+def test_coverage_floor():
+    """The harness quantifies over at least 200 distinct databases."""
+    assert sum(COUNTS.values()) >= 200
+    seen = set()
+    for regime, count in COUNTS.items():
+        for seed in range(count):
+            seen.add(build_db(regime, seed))
+    assert len(seen) >= 200  # regimes don't accidentally coincide
+
+
+def test_cached_engine_actually_hits():
+    """Re-running a differential batch is answered from the cache."""
+    db = build_db("positive", 0)
+    cached = get_semantics("egcwa", engine="cached")
+    cached.model_set(db)
+    before = ENGINE_CACHE.stats()["hits"]
+    cached.model_set(db)
+    assert ENGINE_CACHE.stats()["hits"] == before + 1
+
+
+def test_partitioned_semantics_differential():
+    """CCWA/ECWA with explicit non-trivial (P;Z) partitions also agree
+    across all three engines (the partition is part of the cache key)."""
+    for seed in range(10):
+        db = random_positive_db(4, 4, seed=seed)
+        atoms = sorted(db.vocabulary)
+        p, z = atoms[:2], atoms[2:3]
+        query = random_query_formula(atoms, depth=2, seed=seed)
+        for name in ("ccwa", "ecwa", "circ"):
+            brute = get_semantics(name, engine="brute", p=p, z=z)
+            oracle = get_semantics(name, engine="oracle", p=p, z=z)
+            cached = get_semantics(name, engine="cached", p=p, z=z)
+            expected_models = brute.model_set(db)
+            assert oracle.model_set(db) == expected_models
+            assert cached.model_set(db) == expected_models
+            expected = brute.infers(db, query)
+            assert oracle.infers(db, query) == expected
+            assert cached.infers(db, query) == expected
