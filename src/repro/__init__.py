@@ -62,6 +62,16 @@ __all__ = [
     "CachedSemantics",
     "cache_stats",
     "clear_cache",
+    "ResilientSemantics",
+    "RetryPolicy",
+    "Budget",
+    "BudgetExceeded",
+    "FaultPlan",
+    "Outcome",
+    "Status",
+    "budget_scope",
+    "fault_plan",
+    "runtime_stats",
 ]
 
 from .semantics import (  # noqa: E402  (re-export after logic)
@@ -76,6 +86,18 @@ from .session import Answer, DatabaseSession  # noqa: E402
 from .engine import (  # noqa: E402
     ENGINE_CACHE,
     CachedSemantics,
+    ResilientSemantics,
+    RetryPolicy,
     cache_stats,
     clear_cache,
+)
+from .runtime import (  # noqa: E402
+    Budget,
+    BudgetExceeded,
+    FaultPlan,
+    Outcome,
+    Status,
+    budget_scope,
+    fault_plan,
+    runtime_stats,
 )

@@ -10,7 +10,13 @@ Subcommands:
 * ``ground FILE`` — ground a non-ground (variable) program;
 * ``tables [--evidence]`` — regenerate the paper's Tables 1 and 2;
 * ``cache [FILE]`` — exercise the memoizing engine and print the
-  process-wide cache statistics (hits/misses/evictions, entries by kind).
+  process-wide cache statistics (hits/misses/evictions, entries by kind);
+* ``query FILE --query F --timeout-ms N`` — budgeted inference through
+  the resilient engine: a structured outcome (ok / degraded / timeout)
+  instead of an unbounded run; exit code 4 signals a timeout/failure;
+* ``faults [FILE]`` — deterministic fault-injection demo: run a query
+  under a seeded :class:`~repro.runtime.faults.FaultPlan` and print the
+  degradation path taken.
 
 ``FILE`` is a database in the surface syntax (``-`` for stdin).
 """
@@ -186,6 +192,82 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+#: Exit code of ``query``/``faults`` when no engine produced an answer
+#: (budget tripped or every retry faulted) — distinct from the verdict
+#: codes 0/1 and the usage-error code 2.
+EXIT_NO_ANSWER = 4
+
+
+def _cmd_query(args) -> int:
+    from .runtime import Budget, runtime_stats
+
+    db = _read_database(args.file)
+    formula = parse_formula(args.query)
+    budget = Budget(
+        wall_ms=args.timeout_ms,
+        max_sat_calls=args.max_sat_calls,
+        max_nodes=args.max_nodes,
+    )
+    kwargs = _semantics_kwargs(args)
+    kwargs["budget"] = budget
+    semantics = get_semantics(args.semantics, **kwargs)
+    method = "infers_brave" if args.mode == "brave" else "infers"
+    outcome = semantics.run(method, db, formula)
+    label = resolve_name(args.semantics).upper()
+    print(f"{label}(DB) |= {formula}  [budget: {budget.render()}]")
+    print(outcome.render())
+    if args.stats:
+        print("runtime counters:")
+        for key, value in runtime_stats().items():
+            print(f"  {key}: {value}")
+    if not outcome.ok:
+        return EXIT_NO_ANSWER
+    return 0 if outcome.value else 1
+
+
+#: The built-in database the ``faults`` demo queries when no file is
+#: given: a disjunctive fact plus a dependent rule, small enough that
+#: every engine answers instantly and the printout stays readable.
+FAULTS_DEMO_DB = "a | b. c :- a."
+
+
+def _cmd_faults(args) -> int:
+    from .engine.resilient import RetryPolicy
+    from .runtime import Budget, FaultPlan, fault_plan, runtime_stats
+
+    if args.file:
+        db = _read_database(args.file)
+    else:
+        db = parse_database(FAULTS_DEMO_DB)
+        print(f"(no FILE given; using the demo database {FAULTS_DEMO_DB!r})")
+    formula = parse_formula(args.query)
+    plan = FaultPlan(
+        seed=args.seed,
+        sat_fault_rate=args.sat_fault_rate,
+        latency_ms=args.latency_ms,
+        worker_crash_rate=args.worker_crash_rate,
+        max_sat_faults=args.max_sat_faults,
+    )
+    kwargs = _semantics_kwargs(args)
+    kwargs["budget"] = Budget(wall_ms=args.timeout_ms)
+    kwargs["retry"] = RetryPolicy(
+        max_retries=args.retries, backoff_ms=args.backoff_ms
+    )
+    semantics = get_semantics(args.semantics, **kwargs)
+    label = resolve_name(args.semantics).upper()
+    print(f"querying {label}(DB) |= {formula} under {plan!r}")
+    with fault_plan(plan):
+        outcome = semantics.run("infers", db, formula)
+    print(outcome.render())
+    print("fault plan counters:")
+    for key, value in plan.stats().items():
+        print(f"  {key}: {value}")
+    print("runtime counters:")
+    for key, value in runtime_stats().items():
+        print(f"  {key}: {value}")
+    return 0 if outcome.ok else EXIT_NO_ANSWER
+
+
 def _cmd_tables(args) -> int:
     from .complexity.classes import Regime
     from .tables import render_table
@@ -231,9 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--engine",
-            choices=("oracle", "brute", "cached"),
+            choices=("oracle", "brute", "cached", "resilient"),
             default="oracle",
-            help="decision engine ('cached' memoizes oracle results)",
+            help=(
+                "decision engine ('cached' memoizes oracle results; "
+                "'resilient' adds retry/fallback degradation)"
+            ),
         )
         sub.add_argument(
             "--p", help="comma-separated minimized atoms (CCWA/ECWA/ICWA)"
@@ -342,6 +427,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="clear the cache (and its counters) first",
     )
     cache_cmd.set_defaults(handler=_cmd_cache)
+
+    query_cmd = commands.add_parser(
+        "query",
+        help=(
+            "budgeted inference through the resilient engine "
+            "(structured outcome instead of an unbounded run)"
+        ),
+    )
+    query_cmd.add_argument("file", help="database file ('-' for stdin)")
+    query_cmd.add_argument(
+        "--query", "-q", required=True, help="formula to infer"
+    )
+    query_cmd.add_argument(
+        "--semantics", "-s", default="egcwa",
+        help="semantics name or alias",
+    )
+    query_cmd.add_argument(
+        "--mode", choices=("cautious", "brave"), default="cautious"
+    )
+    query_cmd.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="wall-clock budget in milliseconds",
+    )
+    query_cmd.add_argument(
+        "--max-sat-calls", type=int, default=None,
+        help="NP-oracle (SAT solve) call budget",
+    )
+    query_cmd.add_argument(
+        "--max-nodes", type=int, default=None,
+        help="enumeration/search node budget",
+    )
+    query_cmd.add_argument(
+        "--p", help="comma-separated minimized atoms (CCWA/ECWA/ICWA)"
+    )
+    query_cmd.add_argument(
+        "--z", help="comma-separated floating atoms (CCWA/ECWA/ICWA)"
+    )
+    query_cmd.add_argument(
+        "--stats", action="store_true",
+        help="also print the process-wide runtime counters",
+    )
+    query_cmd.set_defaults(handler=_cmd_query, engine="resilient")
+
+    faults_cmd = commands.add_parser(
+        "faults",
+        help=(
+            "deterministic fault-injection demo through the resilient "
+            "engine"
+        ),
+    )
+    faults_cmd.add_argument(
+        "file", nargs="?",
+        help="database file (default: a built-in demo database)",
+    )
+    faults_cmd.add_argument(
+        "--query", "-q", default="~a | ~b", help="formula to infer"
+    )
+    faults_cmd.add_argument(
+        "--semantics", "-s", default="egcwa",
+        help="semantics name or alias",
+    )
+    faults_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan seed (same seed, same degradation path)",
+    )
+    faults_cmd.add_argument(
+        "--sat-fault-rate", type=float, default=0.5,
+        help="probability a SAT call raises a transient fault",
+    )
+    faults_cmd.add_argument(
+        "--latency-ms", type=float, default=0.0,
+        help="injected latency per SAT call",
+    )
+    faults_cmd.add_argument(
+        "--worker-crash-rate", type=float, default=0.0,
+        help="probability a parallel dispatch crashes",
+    )
+    faults_cmd.add_argument(
+        "--max-sat-faults", type=int, default=None,
+        help="cap on injected SAT faults ('fail N times, then succeed')",
+    )
+    faults_cmd.add_argument(
+        "--retries", type=int, default=2,
+        help="retry attempts before degrading to the fallback engine",
+    )
+    faults_cmd.add_argument(
+        "--backoff-ms", type=float, default=1.0,
+        help="first-retry backoff delay",
+    )
+    faults_cmd.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="wall-clock budget in milliseconds",
+    )
+    faults_cmd.add_argument(
+        "--p", help="comma-separated minimized atoms (CCWA/ECWA/ICWA)"
+    )
+    faults_cmd.add_argument(
+        "--z", help="comma-separated floating atoms (CCWA/ECWA/ICWA)"
+    )
+    faults_cmd.set_defaults(handler=_cmd_faults, engine="resilient")
 
     return parser
 

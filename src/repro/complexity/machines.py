@@ -37,6 +37,7 @@ from ..logic.clause import Clause
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Implies, Not, Var, conj, disj
 from ..logic.transform import rename_atoms
+from ..runtime.budget import check_deadline
 from .oracles import Sigma2Oracle
 
 
@@ -179,6 +180,10 @@ def _solve_union_query(
         fresh = [0]
         result = False
         while True:
+            # Each CEGAR refinement round re-checks the deadline: a round
+            # can add many cones before the next SAT call trips the
+            # per-call budget hooks.
+            check_deadline()
             if not searcher.solve():
                 break
             model = searcher.model(restrict_to=union.vocabulary)
@@ -308,6 +313,7 @@ def theta_inference(
     # Binary search for k* = |S*| (Q is monotone, Q(0) true for free).
     low, high = 0, len(p_set)
     while low < high:
+        check_deadline()
         mid = (low + high + 1) // 2
         if _query_at_least(oracle, db, p_set, z, mid):
             low = mid

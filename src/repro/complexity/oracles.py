@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Iterator, Optional
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation
+from ..runtime.budget import check_deadline
 from ..sat.minimal import MinimalModelSolver, PZMinimalModelSolver
 from ..sat.solver import GLOBAL_SAT_CALLS
 
@@ -80,6 +81,7 @@ class Sigma2Oracle:
 
         ``p`` defaults to the whole vocabulary (plain subset-minimality).
         """
+        check_deadline()
         self.queries += 1
         with count_sat_calls() as counter:
             if p is None or frozenset(p) == frozenset(db.vocabulary):
@@ -101,6 +103,7 @@ class Sigma2Oracle:
         z: Iterable[str] = (),
     ) -> Optional[Interpretation]:
         """Like :meth:`query` but returning the witnessing model."""
+        check_deadline()
         self.queries += 1
         with count_sat_calls() as counter:
             if p is None or frozenset(p) == frozenset(db.vocabulary):

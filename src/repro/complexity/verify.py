@@ -31,13 +31,23 @@ class ReductionReport:
         """Whether every instance agreed."""
         return not self.disagreements
 
+    #: How many disagreements :meth:`render` spells out before eliding.
+    RENDER_LIMIT = 3
+
     def render(self) -> str:
         status = "OK" if self.ok else "FAIL"
-        return (
+        text = (
             f"{self.name}: {status} on {self.total} instances "
             f"({self.yes_instances} yes / {self.total - self.yes_instances}"
-            f" no){'' if self.ok else ' — ' + '; '.join(self.disagreements[:3])}"
+            f" no)"
         )
+        if not self.ok:
+            shown = self.disagreements[: self.RENDER_LIMIT]
+            text += " — " + "; ".join(shown)
+            hidden = len(self.disagreements) - len(shown)
+            if hidden > 0:
+                text += f" …and {hidden} more"
+        return text
 
 
 def check_reduction(

@@ -10,9 +10,14 @@ Layered between :mod:`repro.logic`/:mod:`repro.models` below and
   ``engine="cached"`` façade memoizing ``model_set`` / ``infers`` /
   ``infers_literal`` / ``infers_brave`` / ``has_model``;
 * :mod:`repro.engine.parallel` — process-pool enumeration of ``M(DB)`` /
-  ``MM(DB)`` and generic suite fan-out.
+  ``MM(DB)`` and generic suite fan-out;
+* :mod:`repro.engine.resilient` — :class:`ResilientSemantics`, the
+  ``engine="resilient"`` façade running any engine under a
+  :class:`~repro.runtime.budget.Budget` with retry, fallback and
+  structured-timeout degradation.
 
-See ``docs/performance_guide.md`` for the cache-key and eviction design.
+See ``docs/performance_guide.md`` for the cache-key and eviction design
+and ``docs/robustness_guide.md`` for the budget and degradation model.
 """
 
 from .cache import (
@@ -38,6 +43,7 @@ from .parallel import (
     parallel_minimal_models,
     split_blocks,
 )
+from .resilient import ResilientSemantics, RetryPolicy
 
 __all__ = [
     "DEFAULT_MAXSIZE",
@@ -45,6 +51,8 @@ __all__ = [
     "EngineCache",
     "CachedSemantics",
     "MIN_PARALLEL_ATOMS",
+    "ResilientSemantics",
+    "RetryPolicy",
     "all_models_for",
     "cache_stats",
     "classical_clauses_for",

@@ -12,6 +12,19 @@ is picklable by construction; worker entry points are module-level
 functions.  When a pool cannot be created (restricted environments) or
 ``max_workers <= 1``, every function degrades to the serial path, so
 callers need no fallback logic of their own.
+
+Two runtime interactions (see :mod:`repro.runtime`):
+
+* **budgets** — pool workers cannot tick the parent's cooperative
+  :class:`~repro.runtime.budget.BudgetScope`, so while a scope is active
+  every function here routes to the serial path, where each node is
+  governed;
+* **fault injection** — an active :class:`~repro.runtime.faults.
+  FaultPlan` may crash a block/item dispatch (a seeded, deterministic
+  stand-in for a dying worker); the lost work is recovered serially in
+  the parent and counted in ``RUNTIME_STATS.worker_crashes_recovered``.
+  A genuinely broken pool (e.g. :class:`~concurrent.futures.process.
+  BrokenProcessPool`) is recovered the same way.
 """
 
 from __future__ import annotations
@@ -26,6 +39,8 @@ from ..models.enumeration import (
     minimal_models_brute,
     models_in_block,
 )
+from ..runtime.budget import RUNTIME_STATS, current_scope
+from ..runtime.faults import maybe_crash_worker
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -47,6 +62,18 @@ def _make_pool(max_workers: int):
 
         return ProcessPoolExecutor(max_workers=max_workers)
     except (ImportError, NotImplementedError, OSError, PermissionError):
+        return None
+
+
+def _pool_map(pool, fn, tasks) -> Optional[List]:
+    """``pool.map`` with broken-pool recovery: returns the results, or
+    ``None`` when the pool died mid-flight (callers recompute serially)."""
+    try:
+        with pool:
+            return list(pool.map(fn, tasks))
+    except (OSError, RuntimeError):
+        # Covers BrokenProcessPool (a RuntimeError subclass) and pipe
+        # failures from workers killed by the OS.
         return None
 
 
@@ -87,22 +114,41 @@ def parallel_all_models(
 
     Equals :func:`~repro.models.enumeration.all_models` as a set; the
     result is returned in the deterministic binary-counter order of the
-    serial enumerator.
+    serial enumerator.  Under an active budget scope the serial
+    (budget-governed) enumerator runs instead; crashed block dispatches
+    are recovered serially in the parent.
     """
     workers = default_workers() if max_workers is None else max_workers
-    if workers <= 1 or len(db.vocabulary) < MIN_PARALLEL_ATOMS:
-        return all_models(db)
-    pool = _make_pool(workers)
-    if pool is None:
+    if (
+        workers <= 1
+        or len(db.vocabulary) < MIN_PARALLEL_ATOMS
+        or current_scope() is not None
+    ):
         return all_models(db)
     blocks = split_blocks(db.vocabulary, workers)
-    with pool:
-        chunks = list(
-            pool.map(
+    dispatched, crashed = [], []
+    for block in blocks:
+        (crashed if maybe_crash_worker() else dispatched).append(block)
+    pool = _make_pool(workers) if dispatched else None
+    chunks: List[List[Interpretation]] = []
+    if dispatched:
+        results = (
+            _pool_map(
+                pool,
                 _enumerate_block,
-                [(db, ft, ff) for ft, ff in blocks],
+                [(db, ft, ff) for ft, ff in dispatched],
             )
+            if pool is not None
+            else None
         )
+        if results is None:  # no pool, or the pool died: do it here
+            results = [
+                models_in_block(db, ft, ff) for ft, ff in dispatched
+            ]
+        chunks.extend(results)
+    for ft, ff in crashed:
+        RUNTIME_STATS.worker_crashes_recovered += 1
+        chunks.append(models_in_block(db, ft, ff))
     atoms = sorted(db.vocabulary)
     rank = {a: i for i, a in enumerate(atoms)}
     merged = [m for chunk in chunks for m in chunk]
@@ -124,29 +170,47 @@ def parallel_minimal_models(
 ) -> List[Interpretation]:
     """``MM(DB)`` by parallel enumeration plus a parallel pairwise
     minimality filter (equals
-    :func:`~repro.models.enumeration.minimal_models_brute` as a set)."""
+    :func:`~repro.models.enumeration.minimal_models_brute` as a set).
+    Serial under an active budget scope; crash-injected or broken-pool
+    chunks are recovered serially."""
     workers = default_workers() if max_workers is None else max_workers
-    if workers <= 1 or len(db.vocabulary) < MIN_PARALLEL_ATOMS:
+    if (
+        workers <= 1
+        or len(db.vocabulary) < MIN_PARALLEL_ATOMS
+        or current_scope() is not None
+    ):
         return minimal_models_brute(db)
     models = parallel_all_models(db, max_workers=workers)
     if not models:
         return []
-    pool = _make_pool(workers)
-    if pool is None:
-        return [
-            m for m in models if not any(other < m for other in models)
-        ]
     chunk_size = max(1, (len(models) + workers - 1) // workers)
     chunks = [
         models[i : i + chunk_size]
         for i in range(0, len(models), chunk_size)
     ]
-    with pool:
-        filtered = list(
-            pool.map(
-                _minimality_chunk, [(chunk, models) for chunk in chunks]
+    dispatched, crashed = [], []
+    for chunk in chunks:
+        (crashed if maybe_crash_worker() else dispatched).append(chunk)
+    pool = _make_pool(workers) if dispatched else None
+    filtered: List[List[Interpretation]] = []
+    if dispatched:
+        results = (
+            _pool_map(
+                pool,
+                _minimality_chunk,
+                [(chunk, models) for chunk in dispatched],
             )
+            if pool is not None
+            else None
         )
+        if results is None:
+            results = [
+                _minimality_chunk((chunk, models)) for chunk in dispatched
+            ]
+        filtered.extend(results)
+    for chunk in crashed:
+        RUNTIME_STATS.worker_crashes_recovered += 1
+        filtered.append(_minimality_chunk((chunk, models)))
     return [m for chunk in filtered for m in chunk]
 
 
@@ -159,14 +223,33 @@ def parallel_map(
 
     The benchmark suites use this to fan out per-instance work (one
     database per task).  Order is preserved.  Serial fallback when the
-    pool is unavailable or ``max_workers <= 1``.
+    pool is unavailable, ``max_workers <= 1``, or a budget scope is
+    active; items whose dispatch is crash-injected (or lost to a broken
+    pool) are recomputed serially in the parent, still in order.
     """
     items = list(items)
     workers = default_workers() if max_workers is None else max_workers
-    if workers <= 1 or len(items) <= 1:
+    if workers <= 1 or len(items) <= 1 or current_scope() is not None:
         return [fn(item) for item in items]
-    pool = _make_pool(min(workers, len(items)))
-    if pool is None:
-        return [fn(item) for item in items]
-    with pool:
-        return list(pool.map(fn, items))
+    dispatched, crashed_indices = [], []
+    for index, item in enumerate(items):
+        if maybe_crash_worker():
+            crashed_indices.append(index)
+        else:
+            dispatched.append((index, item))
+    pool = _make_pool(min(workers, max(1, len(dispatched))))
+    results: List = [None] * len(items)
+    if dispatched:
+        mapped = (
+            _pool_map(pool, fn, [item for _, item in dispatched])
+            if pool is not None
+            else None
+        )
+        if mapped is None:
+            mapped = [fn(item) for _, item in dispatched]
+        for (index, _), value in zip(dispatched, mapped):
+            results[index] = value
+    for index in crashed_indices:
+        RUNTIME_STATS.worker_crashes_recovered += 1
+        results[index] = fn(items[index])
+    return results

@@ -13,11 +13,22 @@ from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 from ..logic.database import DisjunctiveDatabase
 from ..logic.interpretation import Interpretation, all_interpretations
+from ..runtime.budget import note_nodes
 
 
 def all_models(db: DisjunctiveDatabase) -> List[Interpretation]:
-    """``M(DB)`` — every classical model, by explicit enumeration."""
-    return [m for m in all_interpretations(db.vocabulary) if db.is_model(m)]
+    """``M(DB)`` — every classical model, by explicit enumeration.
+
+    Every candidate interpretation counts as one node against an active
+    :class:`~repro.runtime.budget.BudgetScope`, so the ``2^|V|`` sweep is
+    cut off by node ceilings and deadlines.
+    """
+    out = []
+    for m in all_interpretations(db.vocabulary):
+        note_nodes(1)
+        if db.is_model(m):
+            out.append(m)
+    return out
 
 
 def models_in_block(
@@ -39,6 +50,7 @@ def models_in_block(
     free = sorted(frozenset(db.vocabulary) - fixed)
     out = []
     for mask in range(1 << len(free)):
+        note_nodes(1)
         candidate = Interpretation(
             itertools.chain(
                 base,
@@ -51,13 +63,18 @@ def models_in_block(
 
 
 def minimal_models_brute(db: DisjunctiveDatabase) -> List[Interpretation]:
-    """``MM(DB)`` — subset-minimal models, by pairwise comparison."""
+    """``MM(DB)`` — subset-minimal models, by pairwise comparison.
+
+    The quadratic comparison pass also ticks budget nodes (one per
+    candidate), since it can dominate the enumeration itself.
+    """
     models = all_models(db)
-    return [
-        m
-        for m in models
-        if not any(other < m for other in models)
-    ]
+    out = []
+    for m in models:
+        note_nodes(1)
+        if not any(other < m for other in models):
+            out.append(m)
+    return out
 
 
 def pz_preferred(
@@ -81,11 +98,12 @@ def pz_minimal_models_brute(
     q = frozenset(db.vocabulary) - p - z
     db.check_partition(p, q, z)
     models = all_models(db)
-    return [
-        m
-        for m in models
-        if not any(pz_preferred(n, m, p, q) for n in models)
-    ]
+    out = []
+    for m in models:
+        note_nodes(1)
+        if not any(pz_preferred(n, m, p, q) for n in models):
+            out.append(m)
+    return out
 
 
 def lex_preferred(
@@ -119,11 +137,12 @@ def prioritized_minimal_models_brute(
         - z
     )
     models = all_models(db)
-    return [
-        m
-        for m in models
-        if not any(lex_preferred(n, m, level_sets, q) for n in models)
-    ]
+    out = []
+    for m in models:
+        note_nodes(1)
+        if not any(lex_preferred(n, m, level_sets, q) for n in models):
+            out.append(m)
+    return out
 
 
 def models_entail_brute(models: Iterable[Interpretation], formula) -> bool:

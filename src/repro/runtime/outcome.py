@@ -1,0 +1,88 @@
+"""Structured results for budgeted, fault-tolerant evaluation.
+
+An :class:`Outcome` is what the resilient engine's non-raising API
+returns: instead of hanging on a hard instance or propagating a transient
+fault, every query ends in a definite status —
+
+* ``OK`` — the primary engine answered;
+* ``DEGRADED`` — the primary kept faulting, but the fallback engine
+  answered (the *value* is still exact);
+* ``TIMEOUT`` — the budget tripped before any engine could answer; the
+  outcome carries the resources consumed so far as ``partial``;
+* ``FAILED`` — faults exhausted every retry and no fallback was
+  configured.
+
+``OK``/``DEGRADED`` outcomes always carry a value; ``TIMEOUT``/``FAILED``
+outcomes always carry the underlying exception.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .budget import ResourceUsage
+
+
+class Status(enum.Enum):
+    """Terminal status of one resilient evaluation."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    TIMEOUT = "timeout"
+    FAILED = "failed"
+
+
+@dataclass
+class Outcome:
+    """The structured result of one resilient evaluation.
+
+    Attributes:
+        status: terminal :class:`Status`.
+        value: the answer (``OK``/``DEGRADED`` only).
+        usage: resources consumed by the whole evaluation (including
+            retries and the fallback), when a budget scope was active.
+        partial: for ``TIMEOUT``, the :class:`ResourceUsage` consumed up
+            to the trip (what the paper's oracle machine had spent when
+            it was cut off).
+        attempts: primary-engine attempts made (1 = no retries).
+        engine_used: engine that produced ``value`` (``"oracle"``,
+            ``"brute"``, ...), or ``None`` when no engine answered.
+        faults: injected/transient faults observed during the evaluation.
+        error: human-readable failure description (non-``OK`` statuses).
+        exception: the underlying exception object (``TIMEOUT`` carries
+            the :class:`~repro.runtime.budget.BudgetExceeded``).
+    """
+
+    status: Status
+    value: Any = None
+    usage: Optional[ResourceUsage] = None
+    partial: Optional[ResourceUsage] = None
+    attempts: int = 1
+    engine_used: Optional[str] = None
+    faults: int = 0
+    error: Optional[str] = None
+    exception: Optional[BaseException] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """Whether an exact answer was produced (``OK`` or ``DEGRADED``)."""
+        return self.status in (Status.OK, Status.DEGRADED)
+
+    def render(self) -> str:
+        """Human-readable multi-line form (the CLI's output)."""
+        lines = [f"status: {self.status.value}"]
+        if self.ok:
+            lines.append(
+                f"value: {self.value}  "
+                f"[engine {self.engine_used}, attempt(s) {self.attempts}, "
+                f"fault(s) {self.faults}]"
+            )
+        else:
+            lines.append(f"error: {self.error}")
+        if self.usage is not None:
+            lines.append(f"usage: {self.usage.render()}")
+        if self.partial is not None and self.status is Status.TIMEOUT:
+            lines.append(f"spent at cutoff: {self.partial.render()}")
+        return "\n".join(lines)

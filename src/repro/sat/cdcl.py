@@ -23,7 +23,13 @@ import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..errors import BudgetExceededError, SolverError
+from ..runtime.budget import BudgetExceeded, check_deadline
 from .types import IntClause, SolverStats, check_int_clause, clause_is_tautology
+
+#: Main-loop iterations between cooperative deadline polls.  One
+#: iteration is one propagation batch / decision / conflict, so a hard
+#: instance is cut off within a bounded amount of search work.
+DEADLINE_POLL_INTERVAL = 64
 
 _UNASSIGNED = 0
 _TRUE = 1
@@ -423,8 +429,18 @@ class CdclSolver:
         restart_index = 1
         conflicts_until_restart = self._RESTART_BASE * luby(restart_index)
         conflicts_this_restart = 0
+        poll_countdown = DEADLINE_POLL_INTERVAL
 
         while True:
+            poll_countdown -= 1
+            if poll_countdown <= 0:
+                poll_countdown = DEADLINE_POLL_INTERVAL
+                try:
+                    check_deadline()
+                except BudgetExceeded:
+                    # Leave the solver reusable: drop the partial trail.
+                    self._backtrack(0)
+                    raise
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from ..runtime.budget import note_nodes
 from .types import check_int_clause, clause_is_tautology
 
 
@@ -68,6 +69,9 @@ def _search(
     assignment: Dict[int, bool],
     use_pure_literals: bool,
 ) -> Optional[Dict[int, bool]]:
+    # Each search node counts against an active budget's node ceiling
+    # (and, periodically, its deadline).
+    note_nodes(1)
     clauses = _simplify(clauses, assignment)
     if clauses is None:
         return None

@@ -26,6 +26,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import SolverError
 from ..logic.atoms import Literal
+from ..runtime.budget import check_deadline
 from ..logic.cnf import Cnf
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula
@@ -157,6 +158,7 @@ class MinimalModelSolver:
             blocker.variables.intern(atom)
         produced = 0
         while max_models is None or produced < max_models:
+            check_deadline()
             self.sat_calls += 1
             if not blocker.solve():
                 return
@@ -195,6 +197,7 @@ class MinimalModelSolver:
         searcher.add_formula(condition)
         tried = 0
         while max_candidates is None or tried < max_candidates:
+            check_deadline()
             self.sat_calls += 1
             if not searcher.solve():
                 return None
@@ -350,6 +353,7 @@ class PZMinimalModelSolver:
         pq = sorted(self.p | self.q)
         tried = 0
         while max_candidates is None or tried < max_candidates:
+            check_deadline()
             self.sat_calls += 1
             if not searcher.solve():
                 return None
@@ -389,6 +393,7 @@ class PZMinimalModelSolver:
         pq = sorted(self.p | self.q)
         produced = 0
         while True:
+            check_deadline()
             self.sat_calls += 1
             if not searcher.solve():
                 return
@@ -526,6 +531,7 @@ class PrioritizedMinimalModelSolver:
         visible = sorted(self.db.vocabulary - self.z)
         tried = 0
         while max_candidates is None or tried < max_candidates:
+            check_deadline()
             self.sat_calls += 1
             if not searcher.solve():
                 return None

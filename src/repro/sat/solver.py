@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..errors import SolverError
 from ..logic.atoms import Literal
+from ..runtime import observe_sat_call
 from ..logic.clause import Clause
 from ..logic.cnf import Cnf, tseitin
 from ..logic.database import DisjunctiveDatabase
@@ -124,8 +125,17 @@ class SatSolver:
     # Solving
     # ------------------------------------------------------------------
     def solve(self, assumptions: Iterable[Literal] = ()) -> bool:
-        """Decide satisfiability under the given assumption literals."""
+        """Decide satisfiability under the given assumption literals.
+
+        Each call ticks the active :class:`~repro.runtime.budget.
+        BudgetScope` (SAT-call ceiling, deadline) and consults the active
+        :class:`~repro.runtime.faults.FaultPlan` (latency, transient
+        faults) before any search work happens, so a budgeted caller is
+        cut off between oracle calls and an injected fault costs no
+        solver state.
+        """
         GLOBAL_SAT_CALLS.calls += 1
+        observe_sat_call()
         assumed = [self.variables.int_literal(l) for l in assumptions]
         if self._known_unsat:
             self._last_model = None

@@ -39,10 +39,10 @@ from ..logic.formula import Formula, Not, Var
 from ..logic.interpretation import Interpretation
 
 #: Valid engine names accepted by :func:`get_semantics`.
-ENGINES = ("oracle", "brute", "cached")
+ENGINES = ("oracle", "brute", "cached", "resilient")
 
-#: Engines concrete semantics classes implement directly ("cached" is a
-#: wrapper realized by :mod:`repro.engine.cached`).
+#: Engines concrete semantics classes implement directly ("cached" and
+#: "resilient" are wrappers realized by :mod:`repro.engine`).
 CONCRETE_ENGINES = ("oracle", "brute")
 
 
@@ -82,10 +82,10 @@ class Semantics(ABC):
     description: str = ""
 
     def __init__(self, engine: str = "oracle"):
-        if engine == "cached":
+        if engine in ("cached", "resilient"):
             raise ReproError(
-                "engine='cached' is a wrapper; obtain it via "
-                "get_semantics(name, engine='cached') or a session"
+                f"engine={engine!r} is a wrapper; obtain it via "
+                f"get_semantics(name, engine={engine!r}) or a session"
             )
         if engine not in CONCRETE_ENGINES:
             raise ReproError(
@@ -205,14 +205,46 @@ def get_semantics(name: str, **kwargs) -> Semantics:
     ``engine="cached"`` returns the oracle instance wrapped in the
     process-wide memoizing engine
     (:class:`~repro.engine.cached.CachedSemantics`).
+
+    ``engine="resilient"`` returns the oracle instance wrapped in the
+    deadline-governed, fault-tolerant engine
+    (:class:`~repro.engine.resilient.ResilientSemantics`), with the brute
+    instance as the degraded-mode fallback.  The wrapper-only keyword
+    arguments ``budget``, ``retry`` and ``fallback`` configure it (see
+    :class:`~repro.runtime.budget.Budget` and
+    :class:`~repro.engine.resilient.RetryPolicy`); they are rejected for
+    other engines.
     """
-    if kwargs.get("engine") == "cached":
+    engine = kwargs.get("engine")
+    wrapper_kwargs = {
+        key: kwargs.pop(key)
+        for key in ("budget", "retry", "fallback")
+        if key in kwargs
+    }
+    if wrapper_kwargs and engine != "resilient":
+        raise ReproError(
+            f"{sorted(wrapper_kwargs)} only apply to engine='resilient'"
+        )
+    if engine == "cached":
         from ..engine.cached import CachedSemantics
 
         inner = SEMANTICS[resolve_name(name)](
             **{**kwargs, "engine": "oracle"}
         )
         return CachedSemantics(inner)
+    if engine == "resilient":
+        from ..engine.resilient import ResilientSemantics
+
+        cls = SEMANTICS[resolve_name(name)]
+        base_kwargs = {k: v for k, v in kwargs.items() if k != "engine"}
+        inner = cls(**{**base_kwargs, "engine": "oracle"})
+        if "fallback" not in wrapper_kwargs:
+            # The brute enumerator shares no SAT-call fault surface with
+            # the oracle engine, so it is the natural degraded mode.
+            wrapper_kwargs["fallback"] = cls(
+                **{**base_kwargs, "engine": "brute"}
+            )
+        return ResilientSemantics(inner, **wrapper_kwargs)
     return SEMANTICS[resolve_name(name)](**kwargs)
 
 

@@ -19,10 +19,12 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Union
 
 from .complexity.oracles import count_sat_calls
+from .errors import ReproError
 from .logic.atoms import Literal
 from .logic.database import DisjunctiveDatabase
 from .logic.formula import Formula
 from .logic.parser import parse_formula
+from .runtime.budget import RUNTIME_STATS, Budget
 from .semantics import Semantics, get_semantics, resolve_name
 from .semantics.explain import (
     CounterModelCertificate,
@@ -73,7 +75,12 @@ class DatabaseSession:
             routes every query through the process-wide memo cache
             (:mod:`repro.engine`), so repeated queries — also across
             sessions over structurally equal databases — are answered
-            from cache.
+            from cache; ``"resilient"`` runs every query under the
+            session budget with retry/fallback degradation
+            (:mod:`repro.engine.resilient`).
+        budget: resource limits for ``engine="resilient"`` sessions
+            (wall-clock ms, SAT calls, nodes); rejected for other
+            engines, where nothing would enforce it.
         certificates: attach counter-model certificates to negative
             cautious answers (costs one extra witness search).
     """
@@ -83,11 +90,18 @@ class DatabaseSession:
         db: DisjunctiveDatabase,
         default_semantics: str = "egcwa",
         engine: str = "oracle",
+        budget: Optional[Budget] = None,
         certificates: bool = True,
     ):
+        if budget is not None and engine != "resilient":
+            raise ReproError(
+                "budget= requires engine='resilient' "
+                f"(got engine={engine!r})"
+            )
         self.db = db
         self.default_semantics = resolve_name(default_semantics)
         self.engine = engine
+        self.budget = budget
         self.certificates = certificates
         self._semantics_cache: Dict[str, Semantics] = {}
         self.total_sat_calls = 0
@@ -97,9 +111,10 @@ class DatabaseSession:
     def _semantics(self, name: Optional[str]) -> Semantics:
         key = resolve_name(name or self.default_semantics)
         if key not in self._semantics_cache:
-            self._semantics_cache[key] = get_semantics(
-                key, engine=self.engine
-            )
+            kwargs: Dict = {"engine": self.engine}
+            if self.budget is not None:
+                kwargs["budget"] = self.budget
+            self._semantics_cache[key] = get_semantics(key, **kwargs)
         return self._semantics_cache[key]
 
     def _parse(self, query: Union[str, Formula]) -> Formula:
@@ -136,7 +151,7 @@ class DatabaseSession:
             mode == "cautious"
             and not verdict
             and self.certificates
-            and self.engine in ("oracle", "cached")
+            and self.engine in ("oracle", "cached", "resilient")
         ):
             try:
                 certificate = explain_non_inference(
@@ -191,16 +206,22 @@ class DatabaseSession:
             self.db.with_clauses(clauses),
             default_semantics=self.default_semantics,
             engine=self.engine,
+            budget=self.budget,
             certificates=self.certificates,
         )
 
     def stats(self) -> Dict[str, int]:
-        """Aggregate session accounting."""
-        return {
+        """Aggregate session accounting, merged with the process-wide
+        runtime counters (budgets tripped, faults injected, retries,
+        fallbacks, timeouts — see
+        :data:`repro.runtime.budget.RUNTIME_STATS`)."""
+        stats = {
             "queries_answered": self.queries_answered,
             "total_sat_calls": self.total_sat_calls,
             "semantics_cached": len(self._semantics_cache),
         }
+        stats.update(RUNTIME_STATS.snapshot())
+        return stats
 
     def cache_stats(self) -> Dict:
         """Statistics of the process-wide result cache backing

@@ -16,6 +16,8 @@ PACKAGES = [
     "repro.qbf",
     "repro.models",
     "repro.semantics",
+    "repro.engine",
+    "repro.runtime",
     "repro.complexity",
     "repro.complexity.reductions",
     "repro.workloads",

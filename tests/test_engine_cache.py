@@ -277,3 +277,64 @@ class TestParallel:
 
 def _square(x: int) -> int:
     return x * x
+
+
+class TestNoPoisonOnCancellation:
+    """A computation cut off by a budget trip or an injected fault must
+    never leave a (partial or wrong) entry behind in the cache."""
+
+    def test_budget_exceeded_builder_stores_nothing(self):
+        from repro.runtime import Budget, BudgetExceeded, budget_scope
+
+        cache = EngineCache(maxsize=16)
+        cached = fresh_cached("gcwa", cache)
+        db = parse_database("a | b. c :- a.")
+        query = parse_formula("~a | ~b")
+        with budget_scope(Budget(max_sat_calls=1)):
+            with pytest.raises(BudgetExceeded):
+                cached.infers(db, query)
+        assert cache.stats()["entries"] == 0
+        # The next, ungoverned call computes the real answer and caches
+        # it; the earlier cancellation cost exactly one extra miss.
+        expected = get_semantics("gcwa").infers(db, query)
+        assert cached.infers(db, query) == expected
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["misses"] == 2
+        assert cached.infers(db, query) == expected  # now a hit
+        assert cache.stats()["hits"] == 1
+
+    def test_injected_fault_stores_nothing(self):
+        from repro.runtime import FaultInjected, FaultPlan, fault_plan
+
+        cache = EngineCache(maxsize=16)
+        cached = fresh_cached("egcwa", cache)
+        db = parse_database("a | b.")
+        query = parse_formula("~a | ~b")
+        with fault_plan(FaultPlan(seed=0, sat_fault_rate=1.0)):
+            with pytest.raises(FaultInjected):
+                cached.infers(db, query)
+        assert cache.stats()["entries"] == 0
+        assert cached.infers(db, query) is True
+        assert cache.peek("infers", cached._key(db, query)) is True
+
+    def test_resilient_over_cached_caches_only_real_answers(self):
+        """The resilient engine retrying a cached inner engine: faulted
+        attempts never populate the cache, the eventual success does."""
+        from repro.engine.resilient import ResilientSemantics, RetryPolicy
+        from repro.runtime import FaultPlan, fault_plan
+
+        cache = EngineCache(maxsize=16)
+        cached = fresh_cached("egcwa", cache)
+        resilient = ResilientSemantics(
+            cached, retry=RetryPolicy(max_retries=3, backoff_ms=0)
+        )
+        db = parse_database("a | b. c :- a.")
+        query = parse_formula("~a | ~b")
+        with fault_plan(
+            FaultPlan(seed=1, sat_fault_rate=1.0, max_sat_faults=2)
+        ):
+            outcome = resilient.run("infers", db, query)
+        assert outcome.value is True
+        assert outcome.faults == 2
+        assert cache.stats()["entries"] == 1  # only the clean attempt
+        assert cache.peek("infers", cached._key(db, query)) is True

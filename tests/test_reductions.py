@@ -303,3 +303,46 @@ class TestReductionsAtOracleScale:
             valid = solve_qbf2_cegar(qbf).valid
             db = qbf_to_perf_existence(qbf).db
             assert get_semantics("perf").has_model(db) == valid, seed
+
+
+class TestReductionReportRender:
+    """The report renderer pins: full text for small failure sets, an
+    explicit elision marker beyond RENDER_LIMIT."""
+
+    def _report(self, num_disagreements):
+        from repro.complexity.verify import ReductionReport
+
+        return ReductionReport(
+            name="demo",
+            total=10,
+            yes_instances=4,
+            disagreements=[
+                f"inst{i}: source=True target=False"
+                for i in range(num_disagreements)
+            ],
+        )
+
+    def test_ok_report_has_no_elision(self):
+        report = self._report(0)
+        assert report.ok
+        assert "more" not in report.render()
+
+    def test_few_disagreements_all_shown(self):
+        report = self._report(3)
+        text = report.render()
+        for i in range(3):
+            assert f"inst{i}" in text
+        assert "…and" not in text
+
+    def test_many_disagreements_elided_with_marker(self):
+        report = self._report(7)
+        text = report.render()
+        # The first RENDER_LIMIT are spelled out, the rest counted.
+        for i in range(3):
+            assert f"inst{i}" in text
+        assert "inst3" not in text
+        assert "…and 4 more" in text
+
+    def test_marker_count_tracks_limit(self):
+        report = self._report(4)
+        assert "…and 1 more" in report.render()
