@@ -1,0 +1,293 @@
+"""Machine-readable benchmark for the incremental SAT backend.
+
+Measures, per workload, the effect of the two PR-level optimisations:
+
+* **solver-pool reuse** — repeated-query suites run once with the pooled
+  incremental backend (``engine="oracle"``) and once with per-query fresh
+  solvers (``engine="fresh"``), asserting identical answers and
+  reporting wall-clock ms, SAT calls and the pool's reuse rate;
+* **connected-component decomposition** — multi-component databases are
+  enumerated with ``decompose=True`` and ``decompose=False``, asserting
+  identical minimal-model sets and reporting budget node counts (the
+  decomposed count grows with the *largest component*, the monolithic
+  one with the whole vocabulary).
+
+The results are written as JSON (default ``BENCH_pr3.json``) so CI and
+the README table consume the same numbers::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py            # full run
+    PYTHONPATH=src python benchmarks/bench_runner.py --smoke \
+        --check-reuse --output /tmp/bench.json                  # CI gate
+
+``--check-reuse`` exits nonzero when the pooled runs show a solver-reuse
+rate of zero (the regression the gate exists to catch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.complexity.oracles import count_sat_calls  # noqa: E402
+from repro.engine.cache import ENGINE_CACHE  # noqa: E402
+from repro.logic.formula import Var  # noqa: E402
+from repro.logic.parser import parse_formula  # noqa: E402
+from repro.models.enumeration import minimal_models_brute  # noqa: E402
+from repro.runtime.budget import Budget, budget_scope  # noqa: E402
+from repro.sat.decompose import connected_components  # noqa: E402
+from repro.sat.incremental import (  # noqa: E402
+    clear_solver_pool,
+    solver_pool_stats,
+)
+from repro.sat.minimal import MinimalModelSolver  # noqa: E402
+from repro.semantics import get_semantics  # noqa: E402
+from repro.workloads.families import (  # noqa: E402
+    disjoint_components,
+    disjunctive_chain,
+    exclusive_pairs,
+    pigeonhole_cnf_db,
+)
+
+
+# ----------------------------------------------------------------------
+# Repeated-query suites: pooled vs fresh
+# ----------------------------------------------------------------------
+def _suite_gcwa_closure(db, repeat: int, engine: str) -> List:
+    """GCWA literal inference over the whole vocabulary, repeated — each
+    round re-derives ``ff(DB)`` with one Σ₂ᵖ query per atom."""
+    semantics = get_semantics("gcwa", engine=engine)
+    answers = []
+    for _ in range(repeat):
+        for atom in sorted(db.vocabulary):
+            answers.append(semantics.infers_literal(db, "~" + atom))
+    return answers
+
+
+def _suite_egcwa_queries(db, repeat: int, engine: str) -> List:
+    """Cautious + brave minimal-model entailment, repeated."""
+    semantics = get_semantics("egcwa", engine=engine)
+    queries = [
+        parse_formula(q)
+        for q in ("x1 | y1", "x1 & y1", "~x1 | ~y1", "x2 | y3")
+    ]
+    answers = []
+    for _ in range(repeat):
+        for query in queries:
+            answers.append(semantics.infers(db, query))
+            answers.append(semantics.infers_brave(db, query))
+    return answers
+
+
+def _suite_minimal_witness(db, repeat: int, engine: str) -> List:
+    """Raw Σ₂ᵖ-primitive calls against one hard (UNSAT-core-heavy)
+    database: the pooled solver refutes once and replays learned clauses,
+    the fresh one re-derives the refutation every query."""
+    reuse = engine != "fresh"
+    answers = []
+    for _ in range(repeat):
+        for atom in sorted(db.vocabulary)[:4]:
+            with MinimalModelSolver(db, reuse=reuse) as solver:
+                answers.append(
+                    solver.find_minimal_satisfying(Var(atom)) is not None
+                )
+    return answers
+
+
+REPEATED_SUITES = [
+    # (name, database factory, suite runner, full repeat, smoke repeat)
+    ("gcwa-closure", lambda: exclusive_pairs(6), _suite_gcwa_closure, 8, 2),
+    (
+        "egcwa-entailment",
+        lambda: exclusive_pairs(5),
+        _suite_egcwa_queries,
+        6,
+        2,
+    ),
+    (
+        "minimal-witness-php",
+        lambda: pigeonhole_cnf_db(6),
+        _suite_minimal_witness,
+        10,
+        2,
+    ),
+    (
+        "egcwa-chain",
+        lambda: disjunctive_chain(9),
+        _suite_egcwa_queries,
+        8,
+        2,
+    ),
+]
+
+
+def run_repeated_suite(name, make_db, runner, repeat, attempts=3) -> Dict:
+    db = make_db()
+    record: Dict = {"workload": name, "repeat": repeat}
+    answers: Dict[str, List] = {}
+    for engine in ("oracle", "fresh"):
+        # Best-of-N wall clock: every attempt cold-starts (pool and cache
+        # cleared), so the minimum measures the engine, not the scheduler.
+        wall_ms = None
+        for _ in range(attempts):
+            clear_solver_pool()
+            ENGINE_CACHE.clear()
+            start = time.perf_counter()
+            with count_sat_calls() as counter:
+                answers[engine] = runner(db, repeat, engine)
+            elapsed = (time.perf_counter() - start) * 1000.0
+            wall_ms = elapsed if wall_ms is None else min(wall_ms, elapsed)
+        pool = solver_pool_stats()
+        key = "pooled" if engine == "oracle" else "fresh"
+        record[key] = {
+            "wall_ms": round(wall_ms, 3),
+            "sat_calls": counter.calls,
+            "solvers_created": pool["solvers_created"],
+            "solver_reuses": pool["solver_reuses"],
+            "reuse_rate": round(pool["reuse_rate"], 4),
+        }
+    if answers["oracle"] != answers["fresh"]:
+        raise AssertionError(
+            f"{name}: pooled and fresh engines disagree on answers"
+        )
+    record["answers_equal"] = True
+    fresh_ms = record["fresh"]["wall_ms"]
+    pooled_ms = record["pooled"]["wall_ms"]
+    record["speedup"] = round(fresh_ms / pooled_ms, 3) if pooled_ms else None
+    return record
+
+
+# ----------------------------------------------------------------------
+# Multi-component decomposition: node asymptotics
+# ----------------------------------------------------------------------
+def run_decomposition(copies: int, component_size: int) -> Dict:
+    db = disjoint_components(copies, component_size)
+    components = connected_components(db)
+    record: Dict = {
+        "workload": f"disjoint-components-{copies}x{component_size}",
+        "copies": copies,
+        "component_size": component_size,
+        "vocabulary": len(db.vocabulary),
+        "components": len(components),
+        "largest_component": max(len(c) for c in components),
+    }
+    results = {}
+    for decompose in (True, False):
+        ENGINE_CACHE.clear()
+        start = time.perf_counter()
+        with budget_scope(Budget()) as scope:
+            models = minimal_models_brute(db, decompose=decompose)
+        key = "decomposed" if decompose else "monolithic"
+        record[key] = {
+            "wall_ms": round((time.perf_counter() - start) * 1000.0, 3),
+            "nodes": scope.nodes,
+        }
+        results[key] = frozenset(models)
+    if results["decomposed"] != results["monolithic"]:
+        raise AssertionError(
+            f"{record['workload']}: decomposed and monolithic "
+            "minimal-model sets disagree"
+        )
+    record["answers_equal"] = True
+    record["minimal_models"] = len(results["decomposed"])
+    return record
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_pr3.json",
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small repeat counts / instance sizes (CI-sized run)",
+    )
+    parser.add_argument(
+        "--check-reuse",
+        action="store_true",
+        help="exit nonzero if any pooled suite shows a 0%% reuse rate",
+    )
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help=(
+            "exit nonzero if the best repeated-query speedup is below "
+            "FACTOR (wall-clock; run on a quiet machine)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    repeated = []
+    for name, make_db, runner, full_repeat, smoke_repeat in REPEATED_SUITES:
+        repeat = smoke_repeat if args.smoke else full_repeat
+        record = run_repeated_suite(
+            name, make_db, runner, repeat, attempts=1 if args.smoke else 3
+        )
+        repeated.append(record)
+        print(
+            f"{name:<24} fresh {record['fresh']['wall_ms']:>9.1f}ms  "
+            f"pooled {record['pooled']['wall_ms']:>9.1f}ms  "
+            f"speedup {record['speedup']:>6.2f}x  "
+            f"reuse {record['pooled']['reuse_rate']:.0%}"
+        )
+
+    decomposition = []
+    # (copies, component_size): monolithic cost is 2^(copies * size), so
+    # the large-copy case uses small components to stay enumerable.
+    sizes = [(2, 3), (3, 3)] if args.smoke else [(2, 3), (3, 3), (5, 2)]
+    for copies, component_size in sizes:
+        record = run_decomposition(copies, component_size=component_size)
+        decomposition.append(record)
+        print(
+            f"{record['workload']:<24} "
+            f"mono {record['monolithic']['nodes']:>8} nodes  "
+            f"decomposed {record['decomposed']['nodes']:>6} nodes"
+        )
+
+    results = {
+        "benchmark": "pr3-incremental-sat",
+        "smoke": args.smoke,
+        "repeated_query": repeated,
+        "decomposition": decomposition,
+        "best_speedup": max(r["speedup"] for r in repeated),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if args.check_reuse:
+        for record in repeated:
+            if record["pooled"]["reuse_rate"] == 0:
+                failures.append(
+                    f"{record['workload']}: solver-reuse rate is 0"
+                )
+    if args.check_speedup is not None:
+        if results["best_speedup"] < args.check_speedup:
+            failures.append(
+                f"best speedup {results['best_speedup']}x is below "
+                f"{args.check_speedup}x"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

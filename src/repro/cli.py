@@ -189,6 +189,24 @@ def _cmd_cache(args) -> int:
             f"misses={stats['misses_by_kind'].get(kind, 0):<5} "
             f"evictions={stats['evictions_by_kind'].get(kind, 0)}"
         )
+    from .sat.incremental import solver_pool_stats
+
+    pool = solver_pool_stats()
+    print("solver pool:")
+    print(
+        f"  parked:    {pool['solvers_pooled']} / {pool['pool_maxsize']}"
+    )
+    print(
+        f"  checkouts: {pool['solvers_created'] + pool['solver_reuses']}  "
+        f"(built {pool['solvers_created']}, "
+        f"reused {pool['solver_reuses']}, "
+        f"reuse rate {pool['reuse_rate']:.1%})"
+    )
+    print(
+        f"  retained learned clauses: {pool['clauses_retained']}  "
+        f"(discarded {pool['solvers_discarded']}, "
+        f"evicted {pool['solver_evictions']})"
+    )
     return 0
 
 
@@ -313,10 +331,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--engine",
-            choices=("oracle", "brute", "cached", "resilient"),
+            choices=("oracle", "fresh", "brute", "cached", "resilient"),
             default="oracle",
             help=(
-                "decision engine ('cached' memoizes oracle results; "
+                "decision engine ('fresh' disables solver-pool reuse; "
+                "'cached' memoizes oracle results; "
                 "'resilient' adds retry/fallback degradation)"
             ),
         )

@@ -171,8 +171,11 @@ def parallel_minimal_models(
     """``MM(DB)`` by parallel enumeration plus a parallel pairwise
     minimality filter (equals
     :func:`~repro.models.enumeration.minimal_models_brute` as a set).
-    Serial under an active budget scope; crash-injected or broken-pool
-    chunks are recovered serially."""
+    A database whose clause graph is disconnected is decomposed first and
+    the answer assembled as a per-component product — each component's
+    sweep is ``2^|Vᵢ|`` instead of ``2^|V|``.  Serial under an active
+    budget scope; crash-injected or broken-pool chunks are recovered
+    serially."""
     workers = default_workers() if max_workers is None else max_workers
     if (
         workers <= 1
@@ -180,6 +183,16 @@ def parallel_minimal_models(
         or current_scope() is not None
     ):
         return minimal_models_brute(db)
+    from ..models.enumeration import _rank_order
+    from ..sat.decompose import decompose, product_interpretations
+
+    parts = decompose(db)
+    if parts is not None:
+        per_part = [
+            parallel_minimal_models(part, max_workers=workers)
+            for part in parts
+        ]
+        return _rank_order(db, product_interpretations(per_part))
     models = parallel_all_models(db, max_workers=workers)
     if not models:
         return []

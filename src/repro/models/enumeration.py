@@ -62,12 +62,40 @@ def models_in_block(
     return out
 
 
-def minimal_models_brute(db: DisjunctiveDatabase) -> List[Interpretation]:
+def _rank_order(
+    db: DisjunctiveDatabase, models: Iterable[Interpretation]
+) -> List[Interpretation]:
+    """Models in the binary-counter order of the serial enumerator."""
+    atoms = sorted(db.vocabulary)
+    rank = {a: i for i, a in enumerate(atoms)}
+    return sorted(models, key=lambda m: sum(1 << rank[a] for a in m))
+
+
+def minimal_models_brute(
+    db: DisjunctiveDatabase, decompose: bool = True
+) -> List[Interpretation]:
     """``MM(DB)`` — subset-minimal models, by pairwise comparison.
+
+    With ``decompose=True`` (default) the clause graph is split into
+    connected components first and ``MM(DB) = ⨂ MM(DBᵢ)`` is assembled as
+    a product: the node count drops from ``2^|V|`` to ``Σᵢ 2^|Vᵢ|`` plus
+    the (output-sized) product.  ``decompose=False`` is the pristine
+    single-sweep reference the decomposed path is tested against.
 
     The quadratic comparison pass also ticks budget nodes (one per
     candidate), since it can dominate the enumeration itself.
     """
+    if decompose:
+        from ..sat.decompose import decompose as _split
+        from ..sat.decompose import product_interpretations
+
+        parts = _split(db)
+        if parts is not None:
+            per_part = [
+                minimal_models_brute(part, decompose=False)
+                for part in parts
+            ]
+            return _rank_order(db, product_interpretations(per_part))
     models = all_models(db)
     out = []
     for m in models:
@@ -90,13 +118,38 @@ def pz_preferred(
 
 
 def pz_minimal_models_brute(
-    db: DisjunctiveDatabase, p: Iterable[str], z: Iterable[str]
+    db: DisjunctiveDatabase,
+    p: Iterable[str],
+    z: Iterable[str],
+    decompose: bool = True,
 ) -> List[Interpretation]:
-    """``MM(DB; P; Z)`` by explicit enumeration."""
+    """``MM(DB; P; Z)`` by explicit enumeration.
+
+    The ``(P; Z)``-preference order compares components pointwise, so it
+    factors over connected components exactly like plain minimality:
+    ``decompose=True`` assembles the answer as a product of per-component
+    sweeps (with the partition restricted to each component).
+    """
     p = frozenset(p)
     z = frozenset(z)
     q = frozenset(db.vocabulary) - p - z
     db.check_partition(p, q, z)
+    if decompose:
+        from ..sat.decompose import decompose as _split
+        from ..sat.decompose import product_interpretations
+
+        parts = _split(db)
+        if parts is not None:
+            per_part = [
+                pz_minimal_models_brute(
+                    part,
+                    p & part.vocabulary,
+                    z & part.vocabulary,
+                    decompose=False,
+                )
+                for part in parts
+            ]
+            return _rank_order(db, product_interpretations(per_part))
     models = all_models(db)
     out = []
     for m in models:

@@ -3,14 +3,35 @@
 * :class:`~repro.sat.cdcl.CdclSolver` — integer-level CDCL core.
 * :class:`~repro.sat.solver.SatSolver` — symbolic facade over named atoms.
 * :mod:`repro.sat.enumerate` — (projected) model enumeration.
+* :mod:`repro.sat.incremental` — persistent incremental solvers with
+  selector-guarded scopes, and the process-wide :data:`SOLVER_POOL`.
+* :mod:`repro.sat.decompose` — connected-component decomposition and the
+  ``MM`` product law.
 * :mod:`repro.sat.minimal` — minimal-model machinery (``MM(DB)``,
   ``MM(DB;P;Z)``, prioritized minimality).
 * :mod:`repro.sat.dpll` — reference DPLL solver for cross-validation.
 """
 
 from .cdcl import CdclSolver, luby
+from .decompose import (
+    connected_components,
+    decompose,
+    product_interpretations,
+)
 from .dpll import solve_dpll
 from .enumerate import blocking_clause, count_models, iter_models
+from .incremental import (
+    SOLVER_POOL,
+    IncrementalSatSolver,
+    Scope,
+    SolverPool,
+    acquire_solver,
+    clear_solver_pool,
+    configure_solver_pool,
+    pooled_scope,
+    release_solver,
+    solver_pool_stats,
+)
 from .minimal import (
     MinimalModelSolver,
     PrioritizedMinimalModelSolver,
@@ -41,10 +62,23 @@ from .types import SolverStats, VariableMap
 __all__ = [
     "CdclSolver",
     "luby",
+    "connected_components",
+    "decompose",
+    "product_interpretations",
     "solve_dpll",
     "blocking_clause",
     "count_models",
     "iter_models",
+    "SOLVER_POOL",
+    "IncrementalSatSolver",
+    "Scope",
+    "SolverPool",
+    "acquire_solver",
+    "clear_solver_pool",
+    "configure_solver_pool",
+    "pooled_scope",
+    "release_solver",
+    "solver_pool_stats",
     "MinimalModelSolver",
     "PrioritizedMinimalModelSolver",
     "PZMinimalModelSolver",

@@ -140,6 +140,16 @@ class CdclSolver:
         value = self._values[abs(literal)]
         return value if literal > 0 else -value
 
+    def reset_phases(self) -> None:
+        """Reset every variable's saved phase to false.
+
+        A warm solver's phases are biased toward the last model it
+        found, which is counterproductive for minimal-model shrink
+        loops (a false-biased first model is already near-minimal).
+        Resetting at query start restores the fresh solver's behavior
+        while keeping learned clauses and activities."""
+        self._saved_phase = [_FALSE] * len(self._saved_phase)
+
     # ------------------------------------------------------------------
     # Clause addition
     # ------------------------------------------------------------------
@@ -191,6 +201,78 @@ class CdclSolver:
     def _attach(self, clause: _Clause) -> None:
         self._watches[clause.literals[0]].append(clause)
         self._watches[clause.literals[1]].append(clause)
+
+    # ------------------------------------------------------------------
+    # Clause removal
+    # ------------------------------------------------------------------
+    def remove_clauses_with(self, literal: int) -> int:
+        """Physically delete every stored clause containing ``literal``.
+
+        This *retracts* those clauses from the theory — input and
+        learned alike.  It is only sound when every learned clause that
+        was derived *using* one of the removed clauses also contains
+        ``literal`` and is therefore removed with them.  The incremental
+        layer guarantees exactly that: a retired scope's clauses are the
+        ones guarded by its negated selector, nothing ever implies a
+        selector positively, so resolution can never eliminate the
+        negated selector from a derived clause.  The complementary
+        literal must not be true at level 0 (then some removed clause
+        may have propagated a surviving root fact).
+
+        Returns the number of clauses removed.
+        """
+        if self._trail_lim:
+            raise SolverError("cannot remove clauses during search")
+        if self._unsat:
+            return 0  # solver is dead; clause storage is irrelevant
+        if abs(literal) > self._num_vars:
+            return 0  # never allocated: no clause can contain it
+        if self.value(literal) == _FALSE:
+            raise SolverError(
+                "remove_clauses_with requires the literal to be true or "
+                "unassigned at level 0 (a falsified guard means the "
+                "clauses may have propagated surviving facts)"
+            )
+        kept_input: List[_Clause] = []
+        kept_learned: List[_Clause] = []
+        removed_clauses: List[_Clause] = []
+        for clause in self._clauses:
+            (
+                removed_clauses
+                if literal in clause.literals
+                else kept_input
+            ).append(clause)
+        for clause in self._learned:
+            (
+                removed_clauses
+                if literal in clause.literals
+                else kept_learned
+            ).append(clause)
+        if not removed_clauses:
+            return 0
+        removed_ids = {id(c) for c in removed_clauses}
+        self._clauses = kept_input
+        self._learned = kept_learned
+        for clause in removed_clauses:
+            for watch in clause.literals[:2]:
+                watchers = self._watches.get(watch)
+                if watchers:
+                    self._watches[watch] = [
+                        c for c in watchers if id(c) not in removed_ids
+                    ]
+        # A removed clause may be the recorded reason of a level-0 trail
+        # literal (e.g. the guarded clause that propagated the negated
+        # selector itself).  Conflict analysis never dereferences
+        # level-0 reasons, but clear them anyway so no dangling
+        # reference survives.  A clause can only be the reason of a
+        # literal it contains, so checking the removed clauses' own
+        # variables suffices (no trail scan).
+        for clause in removed_clauses:
+            for lit in clause.literals:
+                var = abs(lit)
+                if self._reasons[var] is clause:
+                    self._reasons[var] = None
+        return len(removed_clauses)
 
     # ------------------------------------------------------------------
     # Assignment / trail
@@ -494,10 +576,10 @@ class CdclSolver:
             if var == 0:
                 # Full assignment, no conflict: store the model and leave
                 # the solver at level 0 so clauses can be added afterwards.
+                # Every assignment goes through the trail, so the trail's
+                # positive literals are exactly the true variables.
                 self._stored_model = {
-                    v
-                    for v in range(1, self._num_vars + 1)
-                    if self._values[v] == _TRUE
+                    lit for lit in self._trail if lit > 0
                 }
                 self._backtrack(0)
                 return True

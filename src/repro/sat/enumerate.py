@@ -14,7 +14,7 @@ from ..logic.cnf import Cnf, cnf_atoms
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula
 from ..logic.interpretation import Interpretation
-from .solver import SatSolver
+from .incremental import pooled_scope
 
 
 def blocking_clause(
@@ -38,9 +38,15 @@ def iter_models(
     project: Optional[Iterable[str]] = None,
     max_models: Optional[int] = None,
     engine: str = "cdcl",
+    reuse: bool = True,
 ) -> Iterator[Interpretation]:
     """Enumerate models of ``db ∧ extra_cnf ∧ formula`` projected onto
     ``project``.
+
+    The database and extra CNF are the *permanent* theory of a pooled
+    incremental solver (warm across repeated enumerations of the same
+    database); the formula and the blocking clauses live in a scope and
+    are retracted when enumeration ends.
 
     Args:
         db: optional database whose classical models are required.
@@ -50,31 +56,35 @@ def iter_models(
             vocabulary plus the atoms of the extra constraints.
         max_models: stop after this many models (``None`` = all).
         engine: SAT engine to use.
+        reuse: draw the solver from the process pool (``False`` builds a
+            private throwaway solver — the ``fresh`` differential path).
     """
-    solver = SatSolver(engine=engine)
     default_project: set = set()
     if db is not None:
-        solver.add_database(db)
         default_project |= db.vocabulary
     if extra_cnf is not None:
-        solver.add_cnf(extra_cnf)
         default_project |= cnf_atoms(extra_cnf)
     if formula is not None:
-        solver.add_formula(formula)
         default_project |= formula.atoms()
     project_atoms = sorted(project if project is not None else default_project)
 
-    produced = 0
-    while max_models is None or produced < max_models:
-        if not solver.solve():
-            return
-        model = solver.model(restrict_to=project_atoms)
-        yield model
-        produced += 1
-        block = blocking_clause(model, project_atoms)
-        if not block:
-            return  # projecting onto nothing: a single (empty) model
-        solver.add_clause(block)
+    with pooled_scope(
+        db, extra_cnf=extra_cnf, context=("enumerate",), engine=engine,
+        reuse=reuse,
+    ) as scope:
+        if formula is not None:
+            scope.add_formula(formula)
+        produced = 0
+        while max_models is None or produced < max_models:
+            if not scope.solve():
+                return
+            model = scope.model(restrict_to=project_atoms)
+            yield model
+            produced += 1
+            block = blocking_clause(model, project_atoms)
+            if not block:
+                return  # projecting onto nothing: a single (empty) model
+            scope.add_clause(block)
 
 
 def count_models(
@@ -83,6 +93,7 @@ def count_models(
     formula: Optional[Formula] = None,
     project: Optional[Iterable[str]] = None,
     engine: str = "cdcl",
+    reuse: bool = True,
 ) -> int:
     """The number of (projected) models."""
     return sum(
@@ -93,5 +104,6 @@ def count_models(
             formula=formula,
             project=project,
             engine=engine,
+            reuse=reuse,
         )
     )

@@ -15,6 +15,24 @@ The central Σ₂ᵖ *primitive* is :meth:`MinimalModelSolver.find_minimal_satis
 candidate generation plus an NP (SAT) minimality check, exactly the
 guess-and-check structure of the paper's upper-bound proofs.
 
+All three solver classes run on *one* pooled
+:class:`~repro.sat.incremental.IncrementalSatSolver` per
+``(database, extra-theory)`` context: the database is translated once,
+and every witness query, shrink step, blocking-clause enumeration and
+candidate/check alternation happens in a selector-guarded
+:class:`~repro.sat.incremental.Scope` on that solver, so learned clauses
+accumulate across the whole query — and, via the pool, across *queries*.
+Pass ``reuse=False`` for a private throwaway solver (the ``fresh``
+differential-testing path).
+
+``MM(DB)`` and ``MM(DB; P; Z)`` enumeration additionally decompose along
+connected components (see :mod:`repro.sat.decompose`): the minimal models
+of a multi-component database are the products of the parts', so the
+enumerators recurse per part and combine, turning ``2^|V|``-shaped work
+into a sum of exponentially smaller pieces.  Lexicographic minimality
+does *not* factor when priority levels span components, so the
+prioritized solver never decomposes.
+
 Note on ``(P;Z)``-minimality: whether ``M`` is ``≤_{P;Z}``-minimal depends
 only on ``M ∩ (P ∪ Q)``, so checks and blocking work on that projection.
 """
@@ -22,6 +40,7 @@ only on ``M ∩ (P ∪ Q)``, so checks and blocking work on that projection.
 from __future__ import annotations
 
 import itertools
+import weakref
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import SolverError
@@ -31,10 +50,64 @@ from ..logic.cnf import Cnf
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula
 from ..logic.interpretation import Interpretation
-from .solver import SatSolver
+from .decompose import decompose, restrict_partition
+from .incremental import (
+    SOLVER_POOL,
+    IncrementalSatSolver,
+    Scope,
+    acquire_solver,
+)
 
 
-class MinimalModelSolver:
+class _PooledSolverMixin:
+    """Shared acquisition/release plumbing for the three solver classes.
+
+    The underlying incremental solver is checked out of the process pool
+    for this object's lifetime and returned when :meth:`close` runs (or
+    the object is collected — a ``weakref.finalize`` guarantees release).
+    All three classes use the same pool context for a bare database
+    (``("db",)``), so a warm solver serves MM checks, PZ checks,
+    prioritized checks and enumeration scopes alike.
+    """
+
+    def _attach_solver(
+        self,
+        db: Optional[DisjunctiveDatabase],
+        extra_cnf: Optional[Cnf],
+        context: Tuple,
+        engine: str,
+        reuse: bool,
+        setup=None,
+    ) -> None:
+        self._pool_key, self._inc = acquire_solver(
+            db=db,
+            extra_cnf=extra_cnf,
+            context=context,
+            engine=engine,
+            reuse=reuse,
+            setup=setup,
+        )
+        if self._pool_key is not None:
+            self._finalizer = weakref.finalize(
+                self, SOLVER_POOL.release, self._pool_key, self._inc
+            )
+        else:
+            self._finalizer = None
+
+    def close(self) -> None:
+        """Return the underlying solver to the pool.  The object must not
+        be queried afterwards (another user may check the solver out)."""
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MinimalModelSolver(_PooledSolverMixin):
     """Minimal-model queries against a fixed database (plus optional extra
     CNF constraints that *count as part of the theory* for minimality).
 
@@ -44,6 +117,8 @@ class MinimalModelSolver:
         universe: the atom set over which subset-minimality is taken;
             defaults to the database vocabulary.
         engine: SAT engine for all queries.
+        reuse: draw the solver from the process pool (warm learned
+            clauses) rather than building a private one.
     """
 
     def __init__(
@@ -52,36 +127,31 @@ class MinimalModelSolver:
         extra_cnf: Optional[Cnf] = None,
         universe: Optional[Iterable[str]] = None,
         engine: str = "cdcl",
+        reuse: bool = True,
     ):
         self.db = db
         self.engine = engine
+        self.reuse = reuse
         self.universe: Tuple[str, ...] = tuple(
             sorted(universe if universe is not None else db.vocabulary)
         )
+        self._default_universe = frozenset(self.universe) == db.vocabulary
         self._extra_cnf = list(extra_cnf) if extra_cnf else []
-        self._check_solver = SatSolver(engine=engine)
-        self._check_solver.add_database(db)
-        for clause in self._extra_cnf:
-            self._check_solver.add_clause(clause)
-        for atom in self.universe:
-            self._check_solver.variables.intern(atom)
-        self._selector_count = 0
+        if self._default_universe:
+            context: Tuple = ("db",)
+            setup = None
+        else:
+            universe_atoms = self.universe
+            context = ("db-universe", universe_atoms)
+            setup = lambda solver: solver.intern(universe_atoms)
+        self._attach_solver(
+            db, self._extra_cnf, context, engine, reuse, setup=setup
+        )
         self.sat_calls = 0
 
     # ------------------------------------------------------------------
-    # Low-level: witness queries on the persistent check solver
+    # Low-level: witness queries in scopes on the persistent solver
     # ------------------------------------------------------------------
-    def _fresh_selector(self) -> Literal:
-        while True:
-            name = f"__sel{self._selector_count}"
-            self._selector_count += 1
-            if name not in self._check_solver.variables:
-                return Literal.pos(name)
-
-    def _solve(self, assumptions: Sequence[Literal]) -> bool:
-        self.sat_calls += 1
-        return self._check_solver.solve(assumptions)
-
     def witness_below(
         self, model: Iterable[str], extra_false: Iterable[str] = ()
     ) -> Optional[Interpretation]:
@@ -97,20 +167,12 @@ class MinimalModelSolver:
         assumptions += [Literal.neg(a) for a in extra_false]
         if not true_atoms:
             return None  # nothing below the empty model
-        selector = self._fresh_selector()
-        self._check_solver.add_clause(
-            [-selector] + [Literal.neg(a) for a in sorted(true_atoms)]
-        )
-        assumptions.append(selector)
-        satisfiable = self._solve(assumptions)
-        result = (
-            self._check_solver.model(restrict_to=self.universe)
-            if satisfiable
-            else None
-        )
-        # Permanently disable the selector so the clause becomes inert.
-        self._check_solver.add_clause([-selector])
-        return result
+        with self._inc.scope() as scope:
+            scope.add_clause([Literal.neg(a) for a in sorted(true_atoms)])
+            self.sat_calls += 1
+            if scope.solve(assumptions):
+                return scope.model(restrict_to=self.universe)
+            return None
 
     def is_minimal(self, model: Iterable[str]) -> bool:
         """Whether ``model`` is a subset-minimal model of the theory.
@@ -133,42 +195,97 @@ class MinimalModelSolver:
     # ------------------------------------------------------------------
     # Finding / enumerating minimal models
     # ------------------------------------------------------------------
+    def _decomposition(self) -> Optional[Tuple[DisjunctiveDatabase, ...]]:
+        """The component split, when minimality factors through it: extra
+        clauses could couple components and a custom universe changes the
+        order, so decomposition applies only to the plain case."""
+        if self._extra_cnf or not self._default_universe:
+            return None
+        return decompose(self.db)
+
     def find_minimal(self) -> Optional[Interpretation]:
         """Some minimal model of the theory, or ``None`` if inconsistent."""
-        if not self._solve([]):
+        parts = self._decomposition()
+        if parts is not None:
+            union: frozenset = frozenset()
+            for part in parts:
+                if not part.clauses:
+                    continue  # MM = {∅}
+                with MinimalModelSolver(
+                    part, engine=self.engine, reuse=self.reuse
+                ) as sub:
+                    found = sub.find_minimal()
+                    self.sat_calls += sub.sat_calls
+                if found is None:
+                    return None
+                union |= found
+            return Interpretation(union)
+        self.sat_calls += 1
+        if not self._inc.solve():
             return None
-        return self.shrink(self._check_solver.model(restrict_to=self.universe))
+        return self.shrink(self._inc.model(restrict_to=self.universe))
 
     def iter_minimal_models(
         self, max_models: Optional[int] = None
     ) -> Iterator[Interpretation]:
         """Enumerate all subset-minimal models.
 
-        Uses the superset-blocking strategy: after reporting a minimal
-        model ``M``, the clause ``∨_{x∈M} ¬x`` (falsified exactly by the
-        supersets of ``M``) is added.  Distinct minimal models are
-        incomparable, so none is lost, and any model of the blocked theory
-        shrinks to a minimal model of the *original* theory.
+        Multi-component databases are enumerated per component and
+        combined by product.  Connected ones use the superset-blocking
+        strategy: after reporting a minimal model ``M``, the clause
+        ``∨_{x∈M} ¬x`` (falsified exactly by the supersets of ``M``) is
+        added.  Distinct minimal models are incomparable, so none is
+        lost, and any model of the blocked theory shrinks to a minimal
+        model of the *original* theory.
         """
-        blocker = SatSolver(engine=self.engine)
-        blocker.add_database(self.db)
-        for clause in self._extra_cnf:
-            blocker.add_clause(clause)
-        for atom in self.universe:
-            blocker.variables.intern(atom)
+        parts = self._decomposition()
+        if parts is not None:
+            yield from self._iter_product(parts, max_models)
+            return
         produced = 0
-        while max_models is None or produced < max_models:
+        with self._inc.scope() as blocker:
+            while max_models is None or produced < max_models:
+                check_deadline()
+                self.sat_calls += 1
+                if not blocker.solve():
+                    return
+                candidate = blocker.model(restrict_to=self.universe)
+                minimal = self.shrink(candidate)
+                yield minimal
+                produced += 1
+                if not minimal:
+                    return  # the empty model is the unique minimal model
+                blocker.add_clause(
+                    [Literal.neg(a) for a in sorted(minimal)]
+                )
+
+    def _iter_product(
+        self,
+        parts: Tuple[DisjunctiveDatabase, ...],
+        max_models: Optional[int],
+    ) -> Iterator[Interpretation]:
+        """MM as the product of the components' MM sets."""
+        from .decompose import product_interpretations
+
+        part_models: List[List[Interpretation]] = []
+        for part in parts:
             check_deadline()
-            self.sat_calls += 1
-            if not blocker.solve():
-                return
-            candidate = blocker.model(restrict_to=self.universe)
-            minimal = self.shrink(candidate)
-            yield minimal
+            if not part.clauses:
+                continue  # free atoms: MM = {∅}, neutral for the product
+            with MinimalModelSolver(
+                part, engine=self.engine, reuse=self.reuse
+            ) as sub:
+                models = list(sub.iter_minimal_models())
+                self.sat_calls += sub.sat_calls
+            if not models:
+                return  # an inconsistent component: MM(DB) = ∅
+            part_models.append(models)
+        produced = 0
+        for combined in product_interpretations(part_models):
+            yield combined
             produced += 1
-            if not minimal:
-                return  # the empty model is the unique minimal model
-            blocker.add_clause([Literal.neg(a) for a in sorted(minimal)])
+            if max_models is not None and produced >= max_models:
+                return
 
     # ------------------------------------------------------------------
     # The Σ₂ᵖ primitive: ∃ minimal model satisfying a side condition
@@ -183,39 +300,62 @@ class MinimalModelSolver:
         treated as existentially quantified helpers (they do not take part
         in minimization).
 
-        Algorithm: search models of ``theory ∧ condition``; greedily
-        shrink *within* ``theory ∧ condition`` so candidates are few; test
-        each candidate for minimality w.r.t. the *theory alone* (NP
-        oracle); block the universe-projection of failed candidates.
+        Algorithm: search models of ``theory ∧ condition`` in one scope;
+        greedily shrink *within* ``theory ∧ condition`` (child scopes) so
+        candidates are few; test each candidate for minimality w.r.t. the
+        *theory alone* (NP oracle, independent scopes); block the
+        universe-projection of failed candidates.  The condition does not
+        decompose along components, so this never decomposes.
         """
-        searcher = SatSolver(engine=self.engine)
-        searcher.add_database(self.db)
-        for clause in self._extra_cnf:
-            searcher.add_clause(clause)
-        for atom in self.universe:
-            searcher.variables.intern(atom)
-        searcher.add_formula(condition)
-        tried = 0
-        while max_candidates is None or tried < max_candidates:
-            check_deadline()
-            self.sat_calls += 1
-            if not searcher.solve():
-                return None
-            candidate = searcher.model(restrict_to=self.universe)
-            # Shrink within theory ∧ condition to reduce candidate count.
-            candidate = _shrink_in(searcher, candidate, self.universe, self)
-            tried += 1
-            if self.is_minimal(candidate):
-                return candidate
-            block = [Literal.neg(a) for a in sorted(candidate)]
-            block += [
-                Literal.pos(a) for a in self.universe if a not in candidate
-            ]
-            searcher.add_clause(block)
+        with self._inc.scope() as searcher:
+            searcher.add_formula(condition)
+            tried = 0
+            while max_candidates is None or tried < max_candidates:
+                check_deadline()
+                self.sat_calls += 1
+                if not searcher.solve():
+                    return None
+                candidate = searcher.model(restrict_to=self.universe)
+                # Shrink within theory ∧ condition to reduce candidates.
+                candidate = self._shrink_within(searcher, candidate)
+                tried += 1
+                if self.is_minimal(candidate):
+                    return candidate
+                block = [Literal.neg(a) for a in sorted(candidate)]
+                block += [
+                    Literal.pos(a)
+                    for a in self.universe
+                    if a not in candidate
+                ]
+                searcher.add_clause(block)
         raise SolverError(
             f"candidate budget {max_candidates} exhausted in "
             "find_minimal_satisfying"
         )
+
+    def _shrink_within(
+        self, searcher: Scope, model: Interpretation
+    ) -> Interpretation:
+        """Shrink ``model`` to a subset-minimal model of the constraints
+        enforced by ``searcher`` (theory + condition + blocks), via child
+        scopes carrying the strictness clause."""
+        current = model
+        while True:
+            if not current:
+                return current
+            with searcher.scope() as step:
+                step.add_clause(
+                    [Literal.neg(a) for a in sorted(current)]
+                )
+                assumptions = [
+                    Literal.neg(a)
+                    for a in self.universe
+                    if a not in current
+                ]
+                self.sat_calls += 1
+                if not step.solve(assumptions):
+                    return current
+                current = step.model(restrict_to=self.universe)
 
     def entails(self, formula: Formula) -> bool:
         """Minimal-model entailment ``MM(theory) |= formula``.
@@ -228,41 +368,10 @@ class MinimalModelSolver:
         return self.find_minimal_satisfying(Not(formula)) is None
 
 
-def _shrink_in(
-    solver: SatSolver,
-    model: Interpretation,
-    universe: Sequence[str],
-    counter: MinimalModelSolver,
-) -> Interpretation:
-    """Shrink ``model`` to a subset-minimal model of the theory held by
-    ``solver`` (which may include side conditions), counting SAT calls on
-    ``counter``."""
-    current = model
-    while True:
-        if not current:
-            return current
-        true_atoms = sorted(current)
-        selector_name = f"__shr{counter._selector_count}"
-        counter._selector_count += 1
-        selector = Literal.pos(selector_name)
-        solver.add_clause([-selector] + [Literal.neg(a) for a in true_atoms])
-        assumptions = [selector] + [
-            Literal.neg(a) for a in universe if a not in current
-        ]
-        counter.sat_calls += 1
-        satisfiable = solver.solve(assumptions)
-        if satisfiable:
-            smaller = solver.model(restrict_to=universe)
-        solver.add_clause([-selector])
-        if not satisfiable:
-            return current
-        current = smaller
-
-
 # ----------------------------------------------------------------------
 # (P; Z)-minimality  (CCWA, ECWA / circumscription)
 # ----------------------------------------------------------------------
-class PZMinimalModelSolver:
+class PZMinimalModelSolver(_PooledSolverMixin):
     """Queries about ``MM(DB; P; Z)``.
 
     The partition is ``(P; Q; Z)`` with ``Q`` implied as the rest of the
@@ -275,22 +384,17 @@ class PZMinimalModelSolver:
         p: Iterable[str],
         z: Iterable[str],
         engine: str = "cdcl",
+        reuse: bool = True,
     ):
         self.db = db
         self.engine = engine
+        self.reuse = reuse
         self.p = frozenset(p)
         self.z = frozenset(z)
         self.q = frozenset(db.vocabulary) - self.p - self.z
         db.check_partition(self.p, self.q, self.z)
-        self._check_solver = SatSolver(engine=engine)
-        self._check_solver.add_database(db)
-        self._selector_count = 0
+        self._attach_solver(db, None, ("db",), engine, reuse)
         self.sat_calls = 0
-
-    def _fresh_selector(self) -> Literal:
-        name = f"__pzsel{self._selector_count}"
-        self._selector_count += 1
-        return Literal.pos(name)
 
     def witness_below(self, model: Iterable[str]) -> Optional[Interpretation]:
         """A model ``N <_{P;Z} M``, or ``None``.  Depends only on
@@ -310,20 +414,12 @@ class PZMinimalModelSolver:
         # ... and a strict one.
         if not p_true:
             return None
-        selector = self._fresh_selector()
-        self._check_solver.add_clause(
-            [-selector] + [Literal.neg(a) for a in p_true]
-        )
-        assumptions.append(selector)
-        self.sat_calls += 1
-        satisfiable = self._check_solver.solve(assumptions)
-        result = (
-            self._check_solver.model(restrict_to=self.db.vocabulary)
-            if satisfiable
-            else None
-        )
-        self._check_solver.add_clause([-selector])
-        return result
+        with self._inc.scope() as scope:
+            scope.add_clause([Literal.neg(a) for a in p_true])
+            self.sat_calls += 1
+            if scope.solve(assumptions):
+                return scope.model(restrict_to=self.db.vocabulary)
+            return None
 
     def is_minimal(self, model: Iterable[str]) -> bool:
         """Whether ``model ∈ MM(DB; P; Z)`` (one SAT call)."""
@@ -347,25 +443,24 @@ class PZMinimalModelSolver:
         depends only on that projection, but the condition does not — so a
         failed candidate's projection can be blocked only for minimality
         reasons, which is exactly when we block)."""
-        searcher = SatSolver(engine=self.engine)
-        searcher.add_database(self.db)
-        searcher.add_formula(condition)
-        pq = sorted(self.p | self.q)
-        tried = 0
-        while max_candidates is None or tried < max_candidates:
-            check_deadline()
-            self.sat_calls += 1
-            if not searcher.solve():
-                return None
-            candidate = searcher.model(restrict_to=self.db.vocabulary)
-            tried += 1
-            if self.is_minimal(candidate):
-                return candidate
-            block = [
-                Literal.neg(a) if a in candidate else Literal.pos(a)
-                for a in pq
-            ]
-            searcher.add_clause(block)
+        with self._inc.scope() as searcher:
+            searcher.add_formula(condition)
+            pq = sorted(self.p | self.q)
+            tried = 0
+            while max_candidates is None or tried < max_candidates:
+                check_deadline()
+                self.sat_calls += 1
+                if not searcher.solve():
+                    return None
+                candidate = searcher.model(restrict_to=self.db.vocabulary)
+                tried += 1
+                if self.is_minimal(candidate):
+                    return candidate
+                block = [
+                    Literal.neg(a) if a in candidate else Literal.pos(a)
+                    for a in pq
+                ]
+                searcher.add_clause(block)
         raise SolverError(
             f"candidate budget {max_candidates} exhausted in "
             "PZ find_minimal_satisfying"
@@ -382,59 +477,111 @@ class PZMinimalModelSolver:
     ) -> Iterator[Interpretation]:
         """Enumerate ``MM(DB; P; Z)``.
 
-        Distinct minimal models may share their ``P ∪ Q`` projection only
-        by differing on ``Z``; all such ``Z``-variants are minimal
-        together.  We enumerate models, check minimality of each new
-        ``P ∪ Q`` projection once, and emit every model of accepted
+        Multi-component databases decompose: the ``≤_{P;Z}`` order
+        compares ``P`` and fixes ``Q`` pointwise, so ``MM(DB; P; Z)`` is
+        the product of the components' ``MM(DBᵢ; Pᵢ; Zᵢ)``.
+
+        Connected ones: distinct minimal models may share their ``P ∪ Q``
+        projection only by differing on ``Z``; all such ``Z``-variants are
+        minimal together.  We enumerate models, check minimality of each
+        new ``P ∪ Q`` projection once, and emit every model of accepted
         projections.
         """
-        searcher = SatSolver(engine=self.engine)
-        searcher.add_database(self.db)
-        pq = sorted(self.p | self.q)
-        produced = 0
-        while True:
+        parts = decompose(self.db)
+        if parts is not None:
+            yield from self._iter_product(parts, max_models)
+            return
+        with self._inc.scope() as searcher:
+            pq = sorted(self.p | self.q)
+            produced = 0
+            while True:
+                check_deadline()
+                self.sat_calls += 1
+                if not searcher.solve():
+                    return
+                candidate = searcher.model(restrict_to=self.db.vocabulary)
+                projection = frozenset(candidate) & frozenset(pq)
+                if self.is_minimal(candidate):
+                    # Emit all Z-extensions of this projection that are
+                    # models (an independent scope: theory alone).
+                    base = [
+                        Literal.pos(a) if a in projection else Literal.neg(a)
+                        for a in pq
+                    ]
+                    with self._inc.scope() as extension:
+                        while True:
+                            self.sat_calls += 1
+                            if not extension.solve(base):
+                                break
+                            model = extension.model(
+                                restrict_to=self.db.vocabulary
+                            )
+                            yield model
+                            produced += 1
+                            if (
+                                max_models is not None
+                                and produced >= max_models
+                            ):
+                                return
+                            extension.add_clause(
+                                [
+                                    Literal.neg(a)
+                                    if a in model
+                                    else Literal.pos(a)
+                                    for a in sorted(self.db.vocabulary)
+                                ]
+                            )
+                searcher.add_clause(
+                    [
+                        Literal.neg(a) if a in projection else Literal.pos(a)
+                        for a in pq
+                    ]
+                )
+
+    def _iter_product(
+        self,
+        parts: Tuple[DisjunctiveDatabase, ...],
+        max_models: Optional[int],
+    ) -> Iterator[Interpretation]:
+        from .decompose import product_interpretations
+
+        part_models: List[List[Interpretation]] = []
+        for part in parts:
             check_deadline()
-            self.sat_calls += 1
-            if not searcher.solve():
+            p_i, z_i = restrict_partition(part.vocabulary, self.p, self.z)
+            if not part.clauses:
+                # Free atoms: P-atoms are minimized to false; Q-atoms take
+                # both values (each valuation is minimal for its own
+                # Q-slice) and Z-atoms float, so every Q∪Z subset appears.
+                free = sorted(part.vocabulary - p_i)
+                models = [Interpretation(s) for s in _subsets(free)]
+            else:
+                with PZMinimalModelSolver(
+                    part, p_i, z_i, engine=self.engine, reuse=self.reuse
+                ) as sub:
+                    models = list(sub.iter_minimal_models())
+                    self.sat_calls += sub.sat_calls
+            if not models:
                 return
-            candidate = searcher.model(restrict_to=self.db.vocabulary)
-            projection = frozenset(candidate) & frozenset(pq)
-            if self.is_minimal(candidate):
-                # Emit all Z-extensions of this projection that are models.
-                base = [
-                    Literal.pos(a) if a in projection else Literal.neg(a)
-                    for a in pq
-                ]
-                extension_solver = SatSolver(engine=self.engine)
-                extension_solver.add_database(self.db)
-                while True:
-                    self.sat_calls += 1
-                    if not extension_solver.solve(base):
-                        break
-                    model = extension_solver.model(
-                        restrict_to=self.db.vocabulary
-                    )
-                    yield model
-                    produced += 1
-                    if max_models is not None and produced >= max_models:
-                        return
-                    extension_solver.add_clause(
-                        [
-                            Literal.neg(a) if a in model else Literal.pos(a)
-                            for a in sorted(self.db.vocabulary)
-                        ]
-                    )
-            block = [
-                Literal.neg(a) if a in projection else Literal.pos(a)
-                for a in pq
-            ]
-            searcher.add_clause(block)
+            part_models.append(models)
+        produced = 0
+        for combined in product_interpretations(part_models):
+            yield combined
+            produced += 1
+            if max_models is not None and produced >= max_models:
+                return
+
+
+def _subsets(atoms: Sequence[str]) -> Iterator[Tuple[str, ...]]:
+    """All subsets of a (small) atom sequence, in binary-counter order."""
+    for mask in range(1 << len(atoms)):
+        yield tuple(atoms[i] for i in range(len(atoms)) if mask >> i & 1)
 
 
 # ----------------------------------------------------------------------
 # Prioritized (lexicographic) minimality  (ICWA / prioritized CIRC)
 # ----------------------------------------------------------------------
-class PrioritizedMinimalModelSolver:
+class PrioritizedMinimalModelSolver(_PooledSolverMixin):
     """Queries about lexicographically minimal models for priority levels
     ``P1 > P2 > ... > Pr`` with floating atoms ``Z`` (and ``Q`` the fixed
     remainder of the vocabulary).
@@ -449,9 +596,11 @@ class PrioritizedMinimalModelSolver:
         levels: Sequence[Iterable[str]],
         z: Iterable[str] = (),
         engine: str = "cdcl",
+        reuse: bool = True,
     ):
         self.db = db
         self.engine = engine
+        self.reuse = reuse
         self.levels: List[frozenset] = [frozenset(level) for level in levels]
         self.z = frozenset(z)
         flat = frozenset(itertools.chain.from_iterable(self.levels))
@@ -460,9 +609,7 @@ class PrioritizedMinimalModelSolver:
         if flat & self.z:
             raise SolverError("priority levels overlap with Z")
         self.q = frozenset(db.vocabulary) - flat - self.z
-        self._check_solver = SatSolver(engine=engine)
-        self._check_solver.add_database(db)
-        self._selector_count = 0
+        self._attach_solver(db, None, ("db",), engine, reuse)
         self.sat_calls = 0
 
     def witness_below(self, model: Iterable[str]) -> Optional[Interpretation]:
@@ -490,22 +637,11 @@ class PrioritizedMinimalModelSolver:
                 assumptions.append(Literal.neg(atom))
             if not level_true:
                 continue
-            selector = Literal.pos(f"__prsel{self._selector_count}")
-            self._selector_count += 1
-            self._check_solver.add_clause(
-                [-selector] + [Literal.neg(a) for a in level_true]
-            )
-            assumptions.append(selector)
-            self.sat_calls += 1
-            satisfiable = self._check_solver.solve(assumptions)
-            result = (
-                self._check_solver.model(restrict_to=self.db.vocabulary)
-                if satisfiable
-                else None
-            )
-            self._check_solver.add_clause([-selector])
-            if result is not None:
-                return result
+            with self._inc.scope() as scope:
+                scope.add_clause([Literal.neg(a) for a in level_true])
+                self.sat_calls += 1
+                if scope.solve(assumptions):
+                    return scope.model(restrict_to=self.db.vocabulary)
         return None
 
     def is_minimal(self, model: Iterable[str]) -> bool:
@@ -525,25 +661,24 @@ class PrioritizedMinimalModelSolver:
         self, condition: Formula, max_candidates: Optional[int] = None
     ) -> Optional[Interpretation]:
         """A prioritized-minimal model satisfying ``condition``, or ``None``."""
-        searcher = SatSolver(engine=self.engine)
-        searcher.add_database(self.db)
-        searcher.add_formula(condition)
-        visible = sorted(self.db.vocabulary - self.z)
-        tried = 0
-        while max_candidates is None or tried < max_candidates:
-            check_deadline()
-            self.sat_calls += 1
-            if not searcher.solve():
-                return None
-            candidate = searcher.model(restrict_to=self.db.vocabulary)
-            tried += 1
-            if self.is_minimal(candidate):
-                return candidate
-            block = [
-                Literal.neg(a) if a in candidate else Literal.pos(a)
-                for a in visible
-            ]
-            searcher.add_clause(block)
+        with self._inc.scope() as searcher:
+            searcher.add_formula(condition)
+            visible = sorted(self.db.vocabulary - self.z)
+            tried = 0
+            while max_candidates is None or tried < max_candidates:
+                check_deadline()
+                self.sat_calls += 1
+                if not searcher.solve():
+                    return None
+                candidate = searcher.model(restrict_to=self.db.vocabulary)
+                tried += 1
+                if self.is_minimal(candidate):
+                    return candidate
+                block = [
+                    Literal.neg(a) if a in candidate else Literal.pos(a)
+                    for a in visible
+                ]
+                searcher.add_clause(block)
         raise SolverError(
             f"candidate budget {max_candidates} exhausted in "
             "prioritized find_minimal_satisfying"
@@ -560,29 +695,34 @@ class PrioritizedMinimalModelSolver:
 # Convenience functions
 # ----------------------------------------------------------------------
 def find_minimal_model(
-    db: DisjunctiveDatabase, engine: str = "cdcl"
+    db: DisjunctiveDatabase, engine: str = "cdcl", reuse: bool = True
 ) -> Optional[Interpretation]:
     """Some subset-minimal model of ``db`` or ``None`` if inconsistent."""
-    return MinimalModelSolver(db, engine=engine).find_minimal()
+    with MinimalModelSolver(db, engine=engine, reuse=reuse) as solver:
+        return solver.find_minimal()
 
 
 def minimal_models(
     db: DisjunctiveDatabase,
     max_models: Optional[int] = None,
     engine: str = "cdcl",
+    reuse: bool = True,
 ) -> List[Interpretation]:
     """All subset-minimal models ``MM(DB)`` (bounded by ``max_models``)."""
-    return list(
-        MinimalModelSolver(db, engine=engine).iter_minimal_models(max_models)
-    )
+    with MinimalModelSolver(db, engine=engine, reuse=reuse) as solver:
+        return list(solver.iter_minimal_models(max_models))
 
 
 def is_minimal_model(
-    db: DisjunctiveDatabase, model: Iterable[str], engine: str = "cdcl"
+    db: DisjunctiveDatabase,
+    model: Iterable[str],
+    engine: str = "cdcl",
+    reuse: bool = True,
 ) -> bool:
     """Whether ``model`` is a minimal model of ``db`` (model-ness is also
     verified)."""
     model_set = frozenset(model)
     if not db.is_model(model_set):
         return False
-    return MinimalModelSolver(db, engine=engine).is_minimal(model_set)
+    with MinimalModelSolver(db, engine=engine, reuse=reuse) as solver:
+        return solver.is_minimal(model_set)

@@ -121,6 +121,19 @@ class SatSolver:
         """Assert a single literal."""
         self.add_clause([literal])
 
+    def remove_clauses_with(self, literal: Literal) -> int:
+        """Physically delete every asserted clause containing
+        ``literal`` — input and learned alike.  Only sound when the
+        literal is already asserted as a unit (every deleted clause is
+        satisfied forever); the incremental layer calls this when a
+        scope retires so its guarded clauses stop clogging watch lists.
+        Returns the number of clauses removed from the CDCL store."""
+        number = self.variables.int_literal(literal)
+        self._clauses = [c for c in self._clauses if number not in c]
+        if self._known_unsat:
+            return 0
+        return self._core.remove_clauses_with(number)
+
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
@@ -169,6 +182,21 @@ class SatSolver:
         return Interpretation(
             a for a in atoms if self.variables.number(a) in true_vars
         )
+
+    def reset_phases(self) -> None:
+        """Reset the CDCL core's saved phases to the default false bias
+        (see :meth:`repro.sat.cdcl.CdclSolver.reset_phases`)."""
+        self._core.reset_phases()
+
+    def literal_value(self, literal: Literal) -> int:
+        """The literal's current level-0 value in the CDCL core:
+        1 true, -1 false, 0 unassigned.  An atom the core has never
+        allocated (e.g. a scope selector that guarded no clause) is
+        unassigned."""
+        number = self.variables.int_literal(literal)
+        if abs(number) > self._core.num_vars:
+            return 0
+        return self._core.value(number)
 
     def stats(self) -> Dict[str, int]:
         """Search statistics of the CDCL core."""

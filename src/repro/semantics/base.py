@@ -16,6 +16,12 @@ Each class offers an ``engine`` switch:
   realizing the paper's upper bounds,
 * ``"brute"`` — explicit enumeration over ``2^|V|`` (or ``3^|V|``)
   interpretations, the ground truth used in cross-validation tests,
+* ``"fresh"`` — the oracle procedures with throwaway SAT solvers: every
+  oracle call builds its own solver instead of drawing a warm one from
+  the process-wide :data:`~repro.sat.incremental.SOLVER_POOL`.  The
+  differential-testing twin of ``"oracle"`` (same algorithms, no reuse),
+  and the right choice when solver state must not leak between queries
+  (e.g. measuring cold-start costs),
 * ``"cached"`` — the oracle engine behind the process-wide memo cache
   (:mod:`repro.engine`); available through :func:`get_semantics` and the
   session layer, which wrap the oracle instance in a
@@ -39,11 +45,12 @@ from ..logic.formula import Formula, Not, Var
 from ..logic.interpretation import Interpretation
 
 #: Valid engine names accepted by :func:`get_semantics`.
-ENGINES = ("oracle", "brute", "cached", "resilient")
+ENGINES = ("oracle", "fresh", "brute", "cached", "resilient")
 
 #: Engines concrete semantics classes implement directly ("cached" and
-#: "resilient" are wrappers realized by :mod:`repro.engine`).
-CONCRETE_ENGINES = ("oracle", "brute")
+#: "resilient" are wrappers realized by :mod:`repro.engine`).  "fresh"
+#: runs the oracle decision procedures with pooling disabled.
+CONCRETE_ENGINES = ("oracle", "fresh", "brute")
 
 
 def literal_formula(literal: Literal) -> Formula:
@@ -92,6 +99,12 @@ class Semantics(ABC):
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
         self.engine = engine
+
+    @property
+    def sat_reuse(self) -> bool:
+        """Whether this instance's oracle calls may draw warm solvers
+        from the process-wide pool (``False`` under ``engine="fresh"``)."""
+        return self.engine != "fresh"
 
     # ------------------------------------------------------------------
     # Applicability

@@ -24,8 +24,9 @@ from ..logic.formula import Formula, Var
 from ..logic.interpretation import Interpretation
 from ..models.enumeration import all_models, pz_minimal_models_brute
 from ..sat.enumerate import iter_models
+from ..sat.incremental import pooled_scope
 from ..sat.minimal import PZMinimalModelSolver
-from ..sat.solver import database_is_consistent, entails_classically
+from ..sat.solver import database_is_consistent
 from .ecwa import PartitionedSemantics
 from .base import ground_query, register
 from .gcwa import augmented_database
@@ -48,12 +49,14 @@ class Ccwa(PartitionedSemantics):
             return frozenset(
                 x for x in p if not any(x in m for m in minimal)
             )
-        solver = PZMinimalModelSolver(db, p, z)
-        return frozenset(
-            x
-            for x in sorted(p)
-            if solver.find_minimal_satisfying(Var(x)) is None
-        )
+        with PZMinimalModelSolver(
+            db, p, z, reuse=self.sat_reuse
+        ) as solver:
+            return frozenset(
+                x
+                for x in sorted(p)
+                if solver.find_minimal_satisfying(Var(x)) is None
+            )
 
     def model_set(
         self, db: DisjunctiveDatabase
@@ -63,7 +66,11 @@ class Ccwa(PartitionedSemantics):
         if self.engine == "brute":
             return frozenset(m for m in all_models(db) if not (m & free))
         augmented = augmented_database(db, free)
-        return frozenset(iter_models(augmented, project=db.vocabulary))
+        return frozenset(
+            iter_models(
+                augmented, project=db.vocabulary, reuse=self.sat_reuse
+            )
+        )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)
@@ -71,7 +78,11 @@ class Ccwa(PartitionedSemantics):
         if self.engine == "brute":
             return super().infers(db, formula)
         augmented = augmented_database(db, self.free_atoms(db))
-        return entails_classically(augmented, formula)
+        with pooled_scope(
+            augmented, context=("db",), reuse=self.sat_reuse
+        ) as sat:
+            sat.add_formula(formula, positive=False)
+            return not sat.solve()
 
     def infers_literal(self, db: DisjunctiveDatabase, literal) -> bool:
         if isinstance(literal, str):
@@ -83,10 +94,13 @@ class Ccwa(PartitionedSemantics):
         if not literal.positive and literal.atom in p:
             # ¬x for x ∈ P: exactly the closure test MM(DB;P;Z) |= ¬x
             # (one Σ₂ᵖ-primitive query).
-            solver = PZMinimalModelSolver(db, p, self.z)
-            return (
-                solver.find_minimal_satisfying(Var(literal.atom)) is None
-            )
+            with PZMinimalModelSolver(
+                db, p, self.z, reuse=self.sat_reuse
+            ) as solver:
+                return (
+                    solver.find_minimal_satisfying(Var(literal.atom))
+                    is None
+                )
         return self.infers(db, Var(literal.atom) if literal.positive
                            else ~Var(literal.atom))
 

@@ -22,7 +22,7 @@ from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation
 from ..logic.transform import rename_atoms
 from ..sat.enumerate import iter_models
-from ..sat.solver import SatSolver
+from ..sat.incremental import pooled_scope
 from .base import ground_query, register
 from .ecwa import PartitionedSemantics
 
@@ -80,8 +80,9 @@ class CircumscriptionChecker:
     enforced against the concrete model ``M`` and strictness as a clause.
     """
 
-    def __init__(self, db: DisjunctiveDatabase, p, z):
+    def __init__(self, db: DisjunctiveDatabase, p, z, reuse: bool = True):
         self.db = db
+        self.reuse = reuse
         self.p = frozenset(p)
         self.z = frozenset(z)
         self.q = frozenset(db.vocabulary) - self.p - self.z
@@ -94,24 +95,28 @@ class CircumscriptionChecker:
         """Whether ``model`` satisfies the circumscription axiom."""
         if not self.db.is_model(model):
             return False
-        solver = SatSolver()
-        solver.add_database(self.renamed_db)
-        # Q is shared between the copies: fix it to M's values.
-        for atom in sorted(self.q):
-            solver.add_unit(
-                Literal.pos(atom) if atom in model else Literal.neg(atom)
-            )
-        # P' ≤ P(M): primed P-atoms false wherever M makes them false.
-        p_true = sorted(a for a in self.p if a in model)
-        for atom in sorted(self.p):
-            if atom not in model:
-                solver.add_unit(Literal.neg(_primed(atom)))
-        # Strictness P' < P: some true P-atom of M is false in the copy.
-        if not p_true:
-            return True  # nothing below the empty P-part
-        solver.add_clause([Literal.neg(_primed(a)) for a in p_true])
-        self.sat_calls += 1
-        return not solver.solve()
+        # The renamed database is the permanent theory; everything tied
+        # to the concrete model M lives in one retractable scope.
+        with pooled_scope(
+            self.renamed_db, context=("db",), reuse=self.reuse
+        ) as sat:
+            # Q is shared between the copies: fix it to M's values.
+            for atom in sorted(self.q):
+                sat.add_unit(
+                    Literal.pos(atom) if atom in model else Literal.neg(atom)
+                )
+            # P' ≤ P(M): primed P-atoms false wherever M makes them false.
+            p_true = sorted(a for a in self.p if a in model)
+            for atom in sorted(self.p):
+                if atom not in model:
+                    sat.add_unit(Literal.neg(_primed(atom)))
+            # Strictness P' < P: some true P-atom of M is false in the
+            # copy.
+            if not p_true:
+                return True  # nothing below the empty P-part
+            sat.add_clause([Literal.neg(_primed(a)) for a in p_true])
+            self.sat_calls += 1
+            return not sat.solve()
 
 
 @register
@@ -124,7 +129,7 @@ class Circumscription(PartitionedSemantics):
 
     def _checker(self, db: DisjunctiveDatabase) -> CircumscriptionChecker:
         p, _q, z = self.partition(db)
-        return CircumscriptionChecker(db, p, z)
+        return CircumscriptionChecker(db, p, z, reuse=self.sat_reuse)
 
     def model_set(
         self, db: DisjunctiveDatabase
@@ -139,7 +144,9 @@ class Circumscription(PartitionedSemantics):
             )
         return frozenset(
             m
-            for m in iter_models(db, project=db.vocabulary)
+            for m in iter_models(
+                db, project=db.vocabulary, reuse=self.sat_reuse
+            )
             if checker.is_circumscribed(m)
         )
 
@@ -154,18 +161,19 @@ class Circumscription(PartitionedSemantics):
         # Guess-and-check: candidates are models of DB ∧ ¬F; whether a
         # model is circumscribed depends only on its P ∪ Q part, so failed
         # candidates are blocked on that projection.
-        searcher = SatSolver()
-        searcher.add_database(db)
-        searcher.add_formula(Not(formula))
-        while True:
-            if not searcher.solve():
-                return True
-            candidate = searcher.model(restrict_to=db.vocabulary)
-            if checker.is_circumscribed(candidate):
-                return False
-            searcher.add_clause(
-                [
-                    Literal.neg(a) if a in candidate else Literal.pos(a)
-                    for a in pq
-                ]
-            )
+        with pooled_scope(
+            db, context=("db",), reuse=self.sat_reuse
+        ) as searcher:
+            searcher.add_formula(Not(formula))
+            while True:
+                if not searcher.solve():
+                    return True
+                candidate = searcher.model(restrict_to=db.vocabulary)
+                if checker.is_circumscribed(candidate):
+                    return False
+                searcher.add_clause(
+                    [
+                        Literal.neg(a) if a in candidate else Literal.pos(a)
+                        for a in pq
+                    ]
+                )

@@ -34,46 +34,50 @@ from ..logic.formula import Formula, Var
 from ..logic.interpretation import Interpretation
 from ..logic.transform import rename_atoms
 from ..sat.enumerate import iter_models
-from ..sat.solver import SatSolver, entails_classically
+from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
 from .gcwa import augmented_database
 
 
-def cwa_free_atoms(db: DisjunctiveDatabase) -> FrozenSet[str]:
+def cwa_free_atoms(
+    db: DisjunctiveDatabase, reuse: bool = True
+) -> FrozenSet[str]:
     """``{x : M(DB) ⊭ x}`` — the atoms Reiter's closure negates
-    (one NP-oracle call per atom)."""
-    solver = SatSolver()
-    solver.add_database(db)
+    (one NP-oracle call per atom, all against one warm solver)."""
     free = set()
-    for atom in sorted(db.vocabulary):
-        if solver.solve([Literal.neg(atom)]):
-            free.add(atom)
-    # Inconsistent DB: entails everything, so nothing is free.
-    if not free and not solver.solve():
-        return frozenset()
+    with pooled_scope(db, context=("db",), reuse=reuse) as sat:
+        for atom in sorted(db.vocabulary):
+            if sat.solve([Literal.neg(atom)]):
+                free.add(atom)
+        # Inconsistent DB: entails everything, so nothing is free.
+        if not free and not sat.solve():
+            return frozenset()
     return frozenset(free)
 
 
-def cwa_closure(db: DisjunctiveDatabase) -> DisjunctiveDatabase:
+def cwa_closure(
+    db: DisjunctiveDatabase, reuse: bool = True
+) -> DisjunctiveDatabase:
     """``CWA(DB) = DB ∪ {¬x : x free}`` as a database."""
-    return augmented_database(db, cwa_free_atoms(db))
+    return augmented_database(db, cwa_free_atoms(db, reuse=reuse))
 
 
-def cwa_consistent_linear(db: DisjunctiveDatabase) -> "tuple[bool, int]":
+def cwa_consistent_linear(
+    db: DisjunctiveDatabase, reuse: bool = True
+) -> "tuple[bool, int]":
     """Consistency of the closure with ``|V| + 1`` NP calls.
 
     Returns ``(consistent, np_calls)``.
     """
-    solver = SatSolver()
-    solver.add_database(db)
     calls = 0
     free: List[str] = []
-    for atom in sorted(db.vocabulary):
+    with pooled_scope(db, context=("db",), reuse=reuse) as sat:
+        for atom in sorted(db.vocabulary):
+            calls += 1
+            if sat.solve([Literal.neg(atom)]):
+                free.append(atom)
         calls += 1
-        if solver.solve([Literal.neg(atom)]):
-            free.append(atom)
-    calls += 1
-    consistent = solver.solve([Literal.neg(a) for a in free])
+        consistent = sat.solve([Literal.neg(a) for a in free])
     return consistent, calls
 
 
@@ -91,7 +95,9 @@ def _copy(atom: str, index: int) -> str:
     return f"{atom}__w{index}"
 
 
-def cwa_consistent_theta(db: DisjunctiveDatabase) -> CwaThetaResult:
+def cwa_consistent_theta(
+    db: DisjunctiveDatabase, reuse: bool = True
+) -> CwaThetaResult:
     """Consistency of ``CWA(DB)`` with ``O(log |V|)`` NP-oracle calls.
 
     Query ``Q(k)``: one SAT instance over ``k`` disjoint renamed copies
@@ -105,46 +111,59 @@ def cwa_consistent_theta(db: DisjunctiveDatabase) -> CwaThetaResult:
     n = len(atoms)
     calls = 0
 
+    def install(k: int, with_closure_copy: bool):
+        def setup(solver) -> None:
+            for i in range(1, k + 1):
+                solver.add_database(
+                    rename_atoms(db, lambda a, i=i: _copy(a, i))
+                )
+            selectors = {
+                (i, a): Literal.pos(f"__sel_{i}_{a}")
+                for i in range(1, k + 1)
+                for a in atoms
+            }
+            for i in range(1, k + 1):
+                solver.add_clause([selectors[(i, a)] for a in atoms])
+                for a in atoms:
+                    # chosen atom is false in copy i
+                    solver.add_clause(
+                        [-selectors[(i, a)], Literal.neg(_copy(a, i))]
+                    )
+            for a in atoms:  # all-different
+                for i in range(1, k + 1):
+                    for j in range(i + 1, k + 1):
+                        solver.add_clause(
+                            [-selectors[(i, a)], -selectors[(j, a)]]
+                        )
+            if with_closure_copy:
+                solver.add_database(rename_atoms(db, lambda a: _copy(a, 0)))
+                for a in atoms:
+                    # If a is selected anywhere, it must be false in
+                    # copy 0.
+                    for i in range(1, k + 1):
+                        solver.add_clause(
+                            [-selectors[(i, a)], Literal.neg(_copy(a, 0))]
+                        )
+                    # Closure also negates *unselected* atoms?  No:
+                    # copy 0 must satisfy ¬x exactly for the free atoms
+                    # = selected ones (|S| = k* forces S = free set),
+                    # and atoms outside stay unconstrained — they are
+                    # entailed, hence true in every model anyway.
+
+        return setup
+
     def query(k: int, with_closure_copy: bool) -> bool:
         nonlocal calls
         calls += 1
-        solver = SatSolver()
-        for i in range(1, k + 1):
-            solver.add_database(
-                rename_atoms(db, lambda a, i=i: _copy(a, i))
-            )
-        selectors = {
-            (i, a): Literal.pos(f"__sel_{i}_{a}")
-            for i in range(1, k + 1)
-            for a in atoms
-        }
-        for i in range(1, k + 1):
-            solver.add_clause([selectors[(i, a)] for a in atoms])
-            for a in atoms:
-                # chosen atom is false in copy i
-                solver.add_clause(
-                    [-selectors[(i, a)], Literal.neg(_copy(a, i))]
-                )
-        for a in atoms:  # all-different
-            for i in range(1, k + 1):
-                for j in range(i + 1, k + 1):
-                    solver.add_clause(
-                        [-selectors[(i, a)], -selectors[(j, a)]]
-                    )
-        if with_closure_copy:
-            solver.add_database(rename_atoms(db, lambda a: _copy(a, 0)))
-            for a in atoms:
-                # If a is selected anywhere, it must be false in copy 0.
-                for i in range(1, k + 1):
-                    solver.add_clause(
-                        [-selectors[(i, a)], Literal.neg(_copy(a, 0))]
-                    )
-                # Closure also negates *unselected* atoms?  No: copy 0
-                # must satisfy ¬x exactly for the free atoms = selected
-                # ones (|S| = k* forces S = free set), and atoms outside
-                # stay unconstrained — they are entailed, hence true in
-                # every model anyway.
-        return solver.solve()
+        # The whole k-copy construction is the *permanent* theory of a
+        # pooled solver keyed on (db, k, variant): the binary search and
+        # repeated theta runs on the same database revisit the same keys.
+        with pooled_scope(
+            context=("cwa-theta", db, k, with_closure_copy),
+            reuse=reuse,
+            setup=install(k, with_closure_copy),
+        ) as sat:
+            return sat.solve()
 
     low, high = 0, n
     while low < high:
@@ -158,9 +177,8 @@ def cwa_consistent_theta(db: DisjunctiveDatabase) -> CwaThetaResult:
     if k_star == 0:
         # Nothing is negated; closure = DB, consistent iff DB is.
         calls += 1
-        solver = SatSolver()
-        solver.add_database(db)
-        consistent = solver.solve()
+        with pooled_scope(db, context=("db",), reuse=reuse) as sat:
+            consistent = sat.solve()
     else:
         consistent = query(k_star, with_closure_copy=True)
     bound = (math.ceil(math.log2(n + 1)) if n else 0) + 1
@@ -194,19 +212,26 @@ class Cwa(Semantics):
             return frozenset(
                 m for m in all_models(db) if not (m & free)
             )
-        closure = cwa_closure(db)
-        return frozenset(iter_models(closure, project=db.vocabulary))
+        closure = cwa_closure(db, reuse=self.sat_reuse)
+        return frozenset(
+            iter_models(closure, project=db.vocabulary, reuse=self.sat_reuse)
+        )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)
         formula = ground_query(db, formula)
         if self.engine == "brute":
             return super().infers(db, formula)
-        return entails_classically(cwa_closure(db), formula)
+        closure = cwa_closure(db, reuse=self.sat_reuse)
+        with pooled_scope(
+            closure, context=("db",), reuse=self.sat_reuse
+        ) as sat:
+            sat.add_formula(formula, positive=False)
+            return not sat.solve()
 
     def has_model(self, db: DisjunctiveDatabase) -> bool:
         self.validate(db)
         if self.engine == "brute":
             return super().has_model(db)
-        consistent, _calls = cwa_consistent_linear(db)
+        consistent, _calls = cwa_consistent_linear(db, reuse=self.sat_reuse)
         return consistent

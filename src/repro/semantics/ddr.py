@@ -37,7 +37,7 @@ from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula
 from ..logic.interpretation import Interpretation
 from ..sat.enumerate import iter_models
-from ..sat.solver import SatSolver, entails_classically
+from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
 from .gcwa import augmented_database
 
@@ -105,7 +105,11 @@ class Ddr(Semantics):
 
             return frozenset(m for m in all_models(db) if not (m & negated))
         augmented = augmented_database(db, negated)
-        return frozenset(iter_models(augmented, project=db.vocabulary))
+        return frozenset(
+            iter_models(
+                augmented, project=db.vocabulary, reuse=self.sat_reuse
+            )
+        )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)
@@ -114,7 +118,11 @@ class Ddr(Semantics):
             return super().infers(db, formula)
         # coNP upper bound: polynomial fixpoint + one UNSAT call.
         augmented = augmented_database(db, self.negated_atoms(db))
-        return entails_classically(augmented, formula)
+        with pooled_scope(
+            augmented, context=("db",), reuse=self.sat_reuse
+        ) as sat:
+            sat.add_formula(formula, positive=False)
+            return not sat.solve()
 
     def infers_literal(self, db: DisjunctiveDatabase, literal) -> bool:
         if isinstance(literal, str):
@@ -135,6 +143,8 @@ class Ddr(Semantics):
             return True  # the possibly-true set is always a DDR model
         if self.engine == "brute":
             return super().has_model(db)
-        solver = SatSolver()
-        solver.add_database(augmented_database(db, self.negated_atoms(db)))
-        return solver.solve()
+        augmented = augmented_database(db, self.negated_atoms(db))
+        with pooled_scope(
+            augmented, context=("db",), reuse=self.sat_reuse
+        ) as sat:
+            return sat.solve()

@@ -24,13 +24,16 @@ from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation, all_interpretations
 from ..logic.transform import gl_reduct
+from ..sat.incremental import pooled_scope
 from ..sat.minimal import MinimalModelSolver
-from ..sat.solver import SatSolver
 from .base import Semantics, ground_query, register
 
 
 def is_stable_model(
-    db: DisjunctiveDatabase, model: Interpretation, engine: str = "cdcl"
+    db: DisjunctiveDatabase,
+    model: Interpretation,
+    engine: str = "cdcl",
+    reuse: bool = True,
 ) -> bool:
     """``M ∈ MM(DB^M)`` — the Σ₂ᵖ verifier's check (polynomial plus one
     NP-oracle call for minimality)."""
@@ -38,7 +41,8 @@ def is_stable_model(
     reduct = gl_reduct(db, model)
     if not reduct.is_model(model):
         return False
-    return MinimalModelSolver(reduct, engine=engine).is_minimal(model)
+    with MinimalModelSolver(reduct, engine=engine, reuse=reuse) as solver:
+        return solver.is_minimal(model)
 
 
 def is_stable_model_brute(
@@ -83,23 +87,24 @@ class Dsm(Semantics):
         """Guess-and-check enumeration: stable models are models of DB, so
         candidates come from the SAT oracle; each is checked with one
         NP-oracle minimality call; exact blocking."""
-        searcher = SatSolver()
-        searcher.add_database(db)
-        if condition is not None:
-            searcher.add_formula(condition)
         vocabulary = sorted(db.vocabulary)
-        while True:
-            if not searcher.solve():
-                return
-            candidate = searcher.model(restrict_to=db.vocabulary)
-            if is_stable_model(db, candidate):
-                yield candidate
-            searcher.add_clause(
-                [
-                    Literal.neg(a) if a in candidate else Literal.pos(a)
-                    for a in vocabulary
-                ]
-            )
+        with pooled_scope(
+            db, context=("db",), reuse=self.sat_reuse
+        ) as searcher:
+            if condition is not None:
+                searcher.add_formula(condition)
+            while True:
+                if not searcher.solve():
+                    return
+                candidate = searcher.model(restrict_to=db.vocabulary)
+                if is_stable_model(db, candidate, reuse=self.sat_reuse):
+                    yield candidate
+                searcher.add_clause(
+                    [
+                        Literal.neg(a) if a in candidate else Literal.pos(a)
+                        for a in vocabulary
+                    ]
+                )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)

@@ -76,9 +76,10 @@ class Ecwa(PartitionedSemantics):
         p, _q, z = self.partition(db)
         if self.engine == "brute":
             return frozenset(pz_minimal_models_brute(db, p, z))
-        return frozenset(
-            PZMinimalModelSolver(db, p, z).iter_minimal_models()
-        )
+        with PZMinimalModelSolver(
+            db, p, z, reuse=self.sat_reuse
+        ) as solver:
+            return frozenset(solver.iter_minimal_models())
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)
@@ -86,7 +87,10 @@ class Ecwa(PartitionedSemantics):
         if self.engine == "brute":
             return super().infers(db, formula)
         p, _q, z = self.partition(db)
-        return PZMinimalModelSolver(db, p, z).entails(formula)
+        with PZMinimalModelSolver(
+            db, p, z, reuse=self.sat_reuse
+        ) as solver:
+            return solver.entails(formula)
 
     def has_model(self, db: DisjunctiveDatabase) -> bool:
         self.validate(db)

@@ -38,7 +38,8 @@ class Egcwa(Semantics):
         self.validate(db)
         if self.engine == "brute":
             return frozenset(minimal_models_brute(db))
-        return frozenset(MinimalModelSolver(db).iter_minimal_models())
+        with MinimalModelSolver(db, reuse=self.sat_reuse) as solver:
+            return frozenset(solver.iter_minimal_models())
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)
@@ -46,7 +47,8 @@ class Egcwa(Semantics):
         if self.engine == "brute":
             return super().infers(db, formula)
         # Π₂ᵖ upper bound: no minimal model satisfies the negation.
-        return MinimalModelSolver(db).entails(formula)
+        with MinimalModelSolver(db, reuse=self.sat_reuse) as solver:
+            return solver.entails(formula)
 
     def infers_brave(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)
@@ -56,9 +58,8 @@ class Egcwa(Semantics):
         if self.engine == "brute":
             return super().infers_brave(db, formula)
         # Σ₂ᵖ witness search: a minimal model satisfying the formula.
-        return MinimalModelSolver(db).find_minimal_satisfying(
-            formula
-        ) is not None
+        with MinimalModelSolver(db, reuse=self.sat_reuse) as solver:
+            return solver.find_minimal_satisfying(formula) is not None
 
     def has_model(self, db: DisjunctiveDatabase) -> bool:
         self.validate(db)

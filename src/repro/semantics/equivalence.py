@@ -18,36 +18,39 @@ from typing import Optional, Tuple
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Not
 from ..logic.interpretation import Interpretation
-from ..sat.solver import SatSolver
+from ..sat.incremental import pooled_scope
 from .base import Semantics, get_semantics
 
 
 def classically_equivalent(
-    db1: DisjunctiveDatabase, db2: DisjunctiveDatabase
+    db1: DisjunctiveDatabase, db2: DisjunctiveDatabase, reuse: bool = True
 ) -> bool:
     """Whether ``M(db1) = M(db2)`` over the union vocabulary
-    (two UNSAT calls)."""
+    (two UNSAT calls; each side's theory is a pooled solver and the other
+    side's negation lives in a retractable scope)."""
     vocabulary = db1.vocabulary | db2.vocabulary
     for left, right in ((db1, db2), (db2, db1)):
-        solver = SatSolver()
-        solver.add_database(left.with_vocabulary(vocabulary))
-        solver.add_formula(Not(right.to_formula()))
-        if solver.solve():
-            return False
+        with pooled_scope(
+            left.with_vocabulary(vocabulary), context=("db",), reuse=reuse
+        ) as sat:
+            sat.add_formula(Not(right.to_formula()))
+            if sat.solve():
+                return False
     return True
 
 
 def classical_difference_witness(
-    db1: DisjunctiveDatabase, db2: DisjunctiveDatabase
+    db1: DisjunctiveDatabase, db2: DisjunctiveDatabase, reuse: bool = True
 ) -> Optional[Interpretation]:
     """A model of exactly one of the two databases, or ``None``."""
     vocabulary = db1.vocabulary | db2.vocabulary
     for left, right in ((db1, db2), (db2, db1)):
-        solver = SatSolver()
-        solver.add_database(left.with_vocabulary(vocabulary))
-        solver.add_formula(Not(right.to_formula()))
-        if solver.solve():
-            return solver.model(restrict_to=vocabulary)
+        with pooled_scope(
+            left.with_vocabulary(vocabulary), context=("db",), reuse=reuse
+        ) as sat:
+            sat.add_formula(Not(right.to_formula()))
+            if sat.solve():
+                return sat.model(restrict_to=vocabulary)
     return None
 
 

@@ -136,34 +136,33 @@ def explain_non_inference(
     if name in ("egcwa", "ecwa", "circ"):
         from ..sat.minimal import MinimalModelSolver
 
-        witness = MinimalModelSolver(db).find_minimal_satisfying(negated)
+        with MinimalModelSolver(db) as solver:
+            witness = solver.find_minimal_satisfying(negated)
     elif name == "gcwa":
-        from ..sat.solver import SatSolver
+        from ..sat.incremental import pooled_scope
         from .gcwa import Gcwa, augmented_database
 
-        solver = SatSolver()
-        solver.add_database(augmented_database(db, Gcwa().free_atoms(db)))
-        solver.add_formula(negated)
-        witness = (
-            solver.model(restrict_to=db.vocabulary)
-            if solver.solve()
-            else None
-        )
+        augmented = augmented_database(db, Gcwa().free_atoms(db))
+        with pooled_scope(augmented, context=("db",)) as sat:
+            sat.add_formula(negated)
+            witness = (
+                sat.model(restrict_to=db.vocabulary)
+                if sat.solve()
+                else None
+            )
     elif name == "ddr":
-        from ..sat.solver import SatSolver
+        from ..sat.incremental import pooled_scope
         from .ddr import Ddr
         from .gcwa import augmented_database
 
-        solver = SatSolver()
-        solver.add_database(
-            augmented_database(db, Ddr().negated_atoms(db))
-        )
-        solver.add_formula(negated)
-        witness = (
-            solver.model(restrict_to=db.vocabulary)
-            if solver.solve()
-            else None
-        )
+        augmented = augmented_database(db, Ddr().negated_atoms(db))
+        with pooled_scope(augmented, context=("db",)) as sat:
+            sat.add_formula(negated)
+            witness = (
+                sat.model(restrict_to=db.vocabulary)
+                if sat.solve()
+                else None
+            )
     elif name == "pws":
         witness = next(
             get_semantics("pws")._iter_possible_models(db, condition=negated),
@@ -340,7 +339,8 @@ def explain_closure_literal(
 
     if atom not in db.vocabulary:
         return ClosureExplanation(atom, negated=True, witness=None)
-    witness = MinimalModelSolver(db).find_minimal_satisfying(Var(atom))
+    with MinimalModelSolver(db) as solver:
+        witness = solver.find_minimal_satisfying(Var(atom))
     if witness is None:
         return ClosureExplanation(atom, negated=True, witness=None)
     return ClosureExplanation(atom, negated=False, witness=witness)

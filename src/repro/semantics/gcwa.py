@@ -33,8 +33,9 @@ from ..logic.formula import Formula, Var
 from ..logic.interpretation import Interpretation
 from ..models.enumeration import minimal_models_brute
 from ..sat.enumerate import iter_models
+from ..sat.incremental import pooled_scope
 from ..sat.minimal import MinimalModelSolver
-from ..sat.solver import database_is_consistent, entails_classically
+from ..sat.solver import database_is_consistent
 from .base import Semantics, ground_query, register
 
 
@@ -46,14 +47,16 @@ def free_for_negation_brute(db: DisjunctiveDatabase) -> FrozenSet[str]:
     )
 
 
-def free_for_negation(db: DisjunctiveDatabase) -> FrozenSet[str]:
+def free_for_negation(
+    db: DisjunctiveDatabase, reuse: bool = True
+) -> FrozenSet[str]:
     """``ff(DB)`` via the Σ₂ᵖ primitive: ``x ∈ ff`` iff no minimal model
     satisfies ``x`` (one ``find_minimal_satisfying`` query per atom)."""
-    engine = MinimalModelSolver(db)
     free = set()
-    for atom in sorted(db.vocabulary):
-        if engine.find_minimal_satisfying(Var(atom)) is None:
-            free.add(atom)
+    with MinimalModelSolver(db, reuse=reuse) as engine:
+        for atom in sorted(db.vocabulary):
+            if engine.find_minimal_satisfying(Var(atom)) is None:
+                free.add(atom)
     return frozenset(free)
 
 
@@ -78,7 +81,7 @@ class Gcwa(Semantics):
         """The atoms the closure negates."""
         if self.engine == "brute":
             return free_for_negation_brute(db)
-        return free_for_negation(db)
+        return free_for_negation(db, reuse=self.sat_reuse)
 
     def model_set(
         self, db: DisjunctiveDatabase
@@ -93,7 +96,9 @@ class Gcwa(Semantics):
             )
         augmented = augmented_database(db, free)
         return frozenset(
-            iter_models(augmented, project=db.vocabulary)
+            iter_models(
+                augmented, project=db.vocabulary, reuse=self.sat_reuse
+            )
         )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
@@ -105,7 +110,11 @@ class Gcwa(Semantics):
         # entailment call on the augmented theory.  (The Θ₂ᵖ-style
         # O(log n)-oracle-call algorithm is in repro.complexity.machines.)
         augmented = augmented_database(db, self.free_atoms(db))
-        return entails_classically(augmented, formula)
+        with pooled_scope(
+            augmented, context=("db",), reuse=self.sat_reuse
+        ) as sat:
+            sat.add_formula(formula, positive=False)
+            return not sat.solve()
 
     def infers_literal(self, db: DisjunctiveDatabase, literal) -> bool:
         if isinstance(literal, str):
@@ -118,10 +127,12 @@ class Gcwa(Semantics):
         # MM(DB) |= ¬x; and x holds in all GCWA models iff it holds in all
         # minimal models, because every GCWA model contains some minimal
         # model and atoms persist upward.
-        engine = MinimalModelSolver(db)
-        if literal.positive:
-            return engine.entails(Var(literal.atom))
-        return engine.find_minimal_satisfying(Var(literal.atom)) is None
+        with MinimalModelSolver(db, reuse=self.sat_reuse) as engine:
+            if literal.positive:
+                return engine.entails(Var(literal.atom))
+            return (
+                engine.find_minimal_satisfying(Var(literal.atom)) is None
+            )
 
     def has_model(self, db: DisjunctiveDatabase) -> bool:
         self.validate(db)

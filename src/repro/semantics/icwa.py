@@ -134,14 +134,20 @@ class Icwa(Semantics):
             return frozenset(
                 prioritized_minimal_models_brute(shifted, levels, self.z)
             )
-        solver = PrioritizedMinimalModelSolver(shifted, levels, self.z)
         from ..sat.enumerate import iter_models
 
-        return frozenset(
-            m
-            for m in iter_models(shifted, project=shifted.vocabulary)
-            if solver.is_minimal(m)
-        )
+        with PrioritizedMinimalModelSolver(
+            shifted, levels, self.z, reuse=self.sat_reuse
+        ) as solver:
+            return frozenset(
+                m
+                for m in iter_models(
+                    shifted,
+                    project=shifted.vocabulary,
+                    reuse=self.sat_reuse,
+                )
+                if solver.is_minimal(m)
+            )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         formula = ground_query(db, formula)
@@ -151,8 +157,10 @@ class Icwa(Semantics):
                 shifted, levels, self.z
             )
             return all(m.satisfies(formula) for m in models)
-        solver = PrioritizedMinimalModelSolver(shifted, levels, self.z)
-        return solver.entails(formula)
+        with PrioritizedMinimalModelSolver(
+            shifted, levels, self.z, reuse=self.sat_reuse
+        ) as solver:
+            return solver.entails(formula)
 
     def has_model(self, db: DisjunctiveDatabase) -> bool:
         # Paper, Table 2: O(1) — "stratifiability asserts consistency";

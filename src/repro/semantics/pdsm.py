@@ -49,7 +49,7 @@ from ..logic.interpretation import (
     all_three_valued,
 )
 from ..logic.transform import three_valued_reduct
-from ..sat.solver import SatSolver
+from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
 
 #: Atom-name prefixes of the Boolean encoding.
@@ -115,35 +115,51 @@ def _reduct_constraint_clauses(
     return clauses
 
 
+def _tp_setup(db: DisjunctiveDatabase):
+    """Setup callable for pooled (t, p)-encoding solvers: the ``t_x → p_x``
+    consistency clauses are a pure function of the vocabulary, so they are
+    installed once per solver and shared across queries."""
+
+    def setup(solver) -> None:
+        for atom in sorted(db.vocabulary):
+            solver.add_clause(
+                [Literal.neg(t_atom(atom)), Literal.pos(p_atom(atom))]
+            )
+
+    return setup
+
+
 def is_partial_stable(
-    db: DisjunctiveDatabase, interpretation: ThreeValuedInterpretation
+    db: DisjunctiveDatabase,
+    interpretation: ThreeValuedInterpretation,
+    reuse: bool = True,
 ) -> bool:
     """``I ∈ MM₃(DB^I)`` — polynomial work plus one NP-oracle call."""
     if not satisfies_reduct(db, interpretation):
         return False
-    solver = SatSolver()
     atoms = sorted(db.vocabulary)
-    for atom in atoms:
-        solver.add_clause(
-            [Literal.neg(t_atom(atom)), Literal.pos(p_atom(atom))]
-        )
-    for clause in _reduct_constraint_clauses(db, interpretation):
-        solver.add_clause(clause)
-    # J <= I pointwise:
-    for atom in atoms:
-        if atom not in interpretation.possible:
-            solver.add_unit(Literal.neg(p_atom(atom)))
-        if atom not in interpretation.true:
-            solver.add_unit(Literal.neg(t_atom(atom)))
-    # ... strictly:
-    strict = [Literal.neg(t_atom(a)) for a in sorted(interpretation.true)]
-    strict += [
-        Literal.neg(p_atom(a)) for a in sorted(interpretation.possible)
-    ]
-    if not strict:
-        return True  # I is the all-false interpretation: nothing below
-    solver.add_clause(strict)
-    return not solver.solve()
+    with pooled_scope(
+        context=("pdsm-check", db), reuse=reuse, setup=_tp_setup(db)
+    ) as solver:
+        for clause in _reduct_constraint_clauses(db, interpretation):
+            solver.add_clause(clause)
+        # J <= I pointwise:
+        for atom in atoms:
+            if atom not in interpretation.possible:
+                solver.add_unit(Literal.neg(p_atom(atom)))
+            if atom not in interpretation.true:
+                solver.add_unit(Literal.neg(t_atom(atom)))
+        # ... strictly:
+        strict = [
+            Literal.neg(t_atom(a)) for a in sorted(interpretation.true)
+        ]
+        strict += [
+            Literal.neg(p_atom(a)) for a in sorted(interpretation.possible)
+        ]
+        if not strict:
+            return True  # I is the all-false interpretation: nothing below
+        solver.add_clause(strict)
+        return not solver.solve()
 
 
 def encode_degree(formula: Formula, at_least_half: bool) -> Formula:
@@ -198,31 +214,44 @@ class Pdsm(Semantics):
             )
         return frozenset(self._iter_partial_stable(db))
 
-    def _candidate_solver(self, db: DisjunctiveDatabase) -> SatSolver:
-        """A solver over the (t, p) encoding whose models are exactly the
-        3-valued interpretations ``I`` with ``I |= DB^I``: the reduct
-        constants are expressed through the candidate's own variables
-        (``1 - I(c) >= 1/2`` iff ``¬t_c``; ``= 1`` iff ``¬p_c``)."""
-        solver = SatSolver()
-        atoms = sorted(db.vocabulary)
-        for atom in atoms:
-            solver.add_clause(
-                [Literal.neg(t_atom(atom)), Literal.pos(p_atom(atom))]
-            )
-        for clause in db.clauses:
-            half: List[Literal] = [
-                Literal.neg(p_atom(b)) for b in sorted(clause.body_pos)
-            ]
-            half += [Literal.pos(t_atom(c)) for c in sorted(clause.body_neg)]
-            half += [Literal.pos(p_atom(h)) for h in sorted(clause.head)]
-            solver.add_clause(half)
-            full: List[Literal] = [
-                Literal.neg(t_atom(b)) for b in sorted(clause.body_pos)
-            ]
-            full += [Literal.pos(p_atom(c)) for c in sorted(clause.body_neg)]
-            full += [Literal.pos(t_atom(h)) for h in sorted(clause.head)]
-            solver.add_clause(full)
-        return solver
+    def _candidate_scope(self, db: DisjunctiveDatabase):
+        """A scope on a pooled solver over the (t, p) encoding whose
+        models are exactly the 3-valued interpretations ``I`` with
+        ``I |= DB^I``: the reduct constants are expressed through the
+        candidate's own variables (``1 - I(c) >= 1/2`` iff ``¬t_c``;
+        ``= 1`` iff ``¬p_c``).  The encoding is a pure function of the
+        database, so it is the solver's permanent theory."""
+        tp_setup = _tp_setup(db)
+
+        def setup(solver) -> None:
+            tp_setup(solver)
+            for clause in db.clauses:
+                half: List[Literal] = [
+                    Literal.neg(p_atom(b)) for b in sorted(clause.body_pos)
+                ]
+                half += [
+                    Literal.pos(t_atom(c)) for c in sorted(clause.body_neg)
+                ]
+                half += [
+                    Literal.pos(p_atom(h)) for h in sorted(clause.head)
+                ]
+                solver.add_clause(half)
+                full: List[Literal] = [
+                    Literal.neg(t_atom(b)) for b in sorted(clause.body_pos)
+                ]
+                full += [
+                    Literal.pos(p_atom(c)) for c in sorted(clause.body_neg)
+                ]
+                full += [
+                    Literal.pos(t_atom(h)) for h in sorted(clause.head)
+                ]
+                solver.add_clause(full)
+
+        return pooled_scope(
+            context=("pdsm-candidates", db),
+            reuse=self.sat_reuse,
+            setup=setup,
+        )
 
     def _decode(
         self, db: DisjunctiveDatabase, model
@@ -240,26 +269,26 @@ class Pdsm(Semantics):
 
         ``condition`` is a Boolean formula over the encoding atoms.
         """
-        searcher = self._candidate_solver(db)
-        if condition is not None:
-            searcher.add_formula(condition)
         encoding_atoms = sorted(
             [t_atom(a) for a in db.vocabulary]
             + [p_atom(a) for a in db.vocabulary]
         )
-        while True:
-            if not searcher.solve():
-                return
-            raw = searcher.model(restrict_to=encoding_atoms)
-            candidate = self._decode(db, raw)
-            if is_partial_stable(db, candidate):
-                yield candidate
-            searcher.add_clause(
-                [
-                    Literal.neg(a) if a in raw else Literal.pos(a)
-                    for a in encoding_atoms
-                ]
-            )
+        with self._candidate_scope(db) as searcher:
+            if condition is not None:
+                searcher.add_formula(condition)
+            while True:
+                if not searcher.solve():
+                    return
+                raw = searcher.model(restrict_to=encoding_atoms)
+                candidate = self._decode(db, raw)
+                if is_partial_stable(db, candidate, reuse=self.sat_reuse):
+                    yield candidate
+                searcher.add_clause(
+                    [
+                        Literal.neg(a) if a in raw else Literal.pos(a)
+                        for a in encoding_atoms
+                    ]
+                )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         """Degree-1 truth of ``formula`` in every partial stable model."""

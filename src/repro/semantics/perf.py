@@ -37,7 +37,7 @@ from ..logic.atoms import Literal
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation
-from ..sat.solver import SatSolver
+from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
 
 
@@ -141,34 +141,35 @@ def preferable_witness(
     db: DisjunctiveDatabase,
     model: Interpretation,
     priorities: PriorityRelation,
+    reuse: bool = True,
 ) -> Optional[Interpretation]:
     """A model preferable to ``model``, by one SAT call (the paper's
     "``M0`` is perfect iff ``DB'`` has no model" reduction: ``DB'`` is
     exactly the theory below)."""
-    solver = SatSolver()
-    solver.add_database(db)
     m = frozenset(model)
     in_m = sorted(m)
     out_m = sorted(frozenset(db.vocabulary) - m)
-    # N differs from M.
-    solver.add_clause(
-        [Literal.neg(a) for a in in_m] + [Literal.pos(a) for a in out_m]
-    )
-    # Every a in N−M needs a strictly-higher-priority b in M−N.
-    for a in out_m:
-        supports = [
-            Literal.neg(b) for b in in_m if priorities.lt(a, b)
-        ]
-        solver.add_clause([Literal.neg(a)] + supports)
-    if not solver.solve():
-        return None
-    return solver.model(restrict_to=db.vocabulary)
+    with pooled_scope(db, context=("db",), reuse=reuse) as solver:
+        # N differs from M.
+        solver.add_clause(
+            [Literal.neg(a) for a in in_m] + [Literal.pos(a) for a in out_m]
+        )
+        # Every a in N−M needs a strictly-higher-priority b in M−N.
+        for a in out_m:
+            supports = [
+                Literal.neg(b) for b in in_m if priorities.lt(a, b)
+            ]
+            solver.add_clause([Literal.neg(a)] + supports)
+        if not solver.solve():
+            return None
+        return solver.model(restrict_to=db.vocabulary)
 
 
 def is_perfect(
     db: DisjunctiveDatabase,
     model: Interpretation,
     priorities: Optional[PriorityRelation] = None,
+    reuse: bool = True,
 ) -> bool:
     """Whether ``model`` is a perfect model of ``db`` (coNP check)."""
     model = Interpretation(model)
@@ -176,7 +177,7 @@ def is_perfect(
         return False
     if priorities is None:
         priorities = priorities_for(db)
-    return preferable_witness(db, model, priorities) is None
+    return preferable_witness(db, model, priorities, reuse=reuse) is None
 
 
 @register
@@ -217,23 +218,26 @@ class Perf(Semantics):
     ) -> Iterator[Interpretation]:
         """Guess-and-check enumeration of perfect models: SAT candidates,
         coNP perfect check per candidate, exact blocking."""
-        searcher = SatSolver()
-        searcher.add_database(db)
-        if condition is not None:
-            searcher.add_formula(condition)
         vocabulary = sorted(db.vocabulary)
-        while True:
-            if not searcher.solve():
-                return
-            candidate = searcher.model(restrict_to=db.vocabulary)
-            if is_perfect(db, candidate, priorities):
-                yield candidate
-            searcher.add_clause(
-                [
-                    Literal.neg(a) if a in candidate else Literal.pos(a)
-                    for a in vocabulary
-                ]
-            )
+        with pooled_scope(
+            db, context=("db",), reuse=self.sat_reuse
+        ) as searcher:
+            if condition is not None:
+                searcher.add_formula(condition)
+            while True:
+                if not searcher.solve():
+                    return
+                candidate = searcher.model(restrict_to=db.vocabulary)
+                if is_perfect(
+                    db, candidate, priorities, reuse=self.sat_reuse
+                ):
+                    yield candidate
+                searcher.add_clause(
+                    [
+                        Literal.neg(a) if a in candidate else Literal.pos(a)
+                        for a in vocabulary
+                    ]
+                )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)

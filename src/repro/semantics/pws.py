@@ -35,7 +35,7 @@ from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation
 from ..logic.transform import split_count, split_programs
-from ..sat.solver import SatSolver
+from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
 from .ddr import possibly_true_atoms
 
@@ -117,23 +117,24 @@ class Pws(Semantics):
     ) -> Iterator[Interpretation]:
         """Enumerate possible models (optionally satisfying a condition)
         by SAT candidate generation + polynomial possible-model check."""
-        solver = SatSolver()
-        solver.add_database(db)
-        if condition is not None:
-            solver.add_formula(condition)
         vocabulary = sorted(db.vocabulary)
-        while True:
-            if not solver.solve():
-                return
-            candidate = solver.model(restrict_to=db.vocabulary)
-            if is_possible_model(db, candidate):
-                yield candidate
-            solver.add_clause(
-                [
-                    Literal.neg(a) if a in candidate else Literal.pos(a)
-                    for a in vocabulary
-                ]
-            )
+        with pooled_scope(
+            db, context=("db",), reuse=self.sat_reuse
+        ) as solver:
+            if condition is not None:
+                solver.add_formula(condition)
+            while True:
+                if not solver.solve():
+                    return
+                candidate = solver.model(restrict_to=db.vocabulary)
+                if is_possible_model(db, candidate):
+                    yield candidate
+                solver.add_clause(
+                    [
+                        Literal.neg(a) if a in candidate else Literal.pos(a)
+                        for a in vocabulary
+                    ]
+                )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)

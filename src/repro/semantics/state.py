@@ -157,17 +157,17 @@ def egcwa_closure_clauses(
     primitive); candidates are visited smallest-first so non-minimal
     supersets are pruned.
     """
-    engine = MinimalModelSolver(db)
     closure: Set[FrozenSet[str]] = set()
     atoms = sorted(db.vocabulary)
-    for size in range(1, max_size + 1):
-        for combo in itertools.combinations(atoms, size):
-            candidate = frozenset(combo)
-            if any(kept <= candidate for kept in closure):
-                continue  # already implied by a smaller closure clause
-            witness = engine.find_minimal_satisfying(
-                conj([Var(a) for a in combo])
-            )
-            if witness is None:
-                closure.add(candidate)
+    with MinimalModelSolver(db) as engine:
+        for size in range(1, max_size + 1):
+            for combo in itertools.combinations(atoms, size):
+                candidate = frozenset(combo)
+                if any(kept <= candidate for kept in closure):
+                    continue  # already implied by a smaller closure clause
+                witness = engine.find_minimal_satisfying(
+                    conj([Var(a) for a in combo])
+                )
+                if witness is None:
+                    closure.add(candidate)
     return frozenset(closure)

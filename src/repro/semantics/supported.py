@@ -28,8 +28,8 @@ from ..errors import NotPositiveError
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Iff, Not, Var, conj, disj
 from ..logic.interpretation import Interpretation
-from ..sat.enumerate import iter_models
-from ..sat.solver import SatSolver, entails_classically
+from ..sat.enumerate import blocking_clause
+from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
 
 
@@ -126,6 +126,20 @@ class Supported(Semantics):
     def validate(self, db: DisjunctiveDatabase) -> None:
         _check_normal(db)
 
+    def _completion_scope(self, db: DisjunctiveDatabase):
+        """A scope on a pooled solver whose permanent theory is
+        ``comp(DB)`` — the completion is Tseitin-encoded once per solver,
+        not once per query."""
+        vocabulary = tuple(sorted(db.vocabulary))
+
+        def setup(solver) -> None:
+            solver.intern(vocabulary)
+            solver.add_formula(clark_completion(db))
+
+        return pooled_scope(
+            context=("completion", db), reuse=self.sat_reuse, setup=setup
+        )
+
     def model_set(self, db: DisjunctiveDatabase) -> FrozenSet[Interpretation]:
         self.validate(db)
         if self.engine == "brute":
@@ -136,13 +150,19 @@ class Supported(Semantics):
                 for m in all_interpretations(db.vocabulary)
                 if is_supported_model(db, m)
             )
-        completion = clark_completion(db)
-        empty = DisjunctiveDatabase([], db.vocabulary)
-        return frozenset(
-            iter_models(
-                db=empty, formula=completion, project=db.vocabulary
-            )
-        )
+        project = sorted(db.vocabulary)
+        found = []
+        with self._completion_scope(db) as sat:
+            while True:
+                if not sat.solve():
+                    break
+                model = sat.model(restrict_to=project)
+                found.append(model)
+                block = blocking_clause(model, project)
+                if not block:
+                    break
+                sat.add_clause(block)
+        return frozenset(found)
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
         self.validate(db)
@@ -150,19 +170,13 @@ class Supported(Semantics):
         if self.engine == "brute":
             return super().infers(db, formula)
         # One UNSAT call: comp(DB) ∧ ¬F.
-        solver = SatSolver()
-        for atom in sorted(db.vocabulary):
-            solver.variables.intern(atom)
-        solver.add_formula(clark_completion(db))
-        solver.add_formula(Not(formula))
-        return not solver.solve()
+        with self._completion_scope(db) as sat:
+            sat.add_formula(Not(formula))
+            return not sat.solve()
 
     def has_model(self, db: DisjunctiveDatabase) -> bool:
         self.validate(db)
         if self.engine == "brute":
             return super().has_model(db)
-        solver = SatSolver()
-        for atom in sorted(db.vocabulary):
-            solver.variables.intern(atom)
-        solver.add_formula(clark_completion(db))
-        return solver.solve()
+        with self._completion_scope(db) as sat:
+            return sat.solve()

@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Optional, Union
 
 from .complexity.oracles import count_sat_calls
 from .errors import ReproError
+from .sat.incremental import SOLVER_POOL, solver_pool_stats
 from .logic.atoms import Literal
 from .logic.database import DisjunctiveDatabase
 from .logic.formula import Formula
@@ -44,6 +45,11 @@ class Answer:
         certificate: for a negative cautious verdict, a checkable
             counter-model (``None`` for positive verdicts, and for
             engines without a certificate path).
+        solver_stats: per-query *delta* of the pooled CDCL search
+            statistics (decisions, conflicts, propagations, ...).  Pooled
+            solvers outlive queries, so their raw counters are lifetime
+            totals; the session snapshots them around each query and
+            reports only what this query spent.
     """
 
     verdict: bool
@@ -51,6 +57,7 @@ class Answer:
     query: Formula
     sat_calls: int = 0
     certificate: Optional[CounterModelCertificate] = None
+    solver_stats: Optional[Dict[str, int]] = None
 
     def __bool__(self) -> bool:
         return self.verdict
@@ -106,6 +113,24 @@ class DatabaseSession:
         self._semantics_cache: Dict[str, Semantics] = {}
         self.total_sat_calls = 0
         self.queries_answered = 0
+        self.solver_stat_totals: Dict[str, int] = {}
+
+    @staticmethod
+    def _solver_delta(
+        before: Dict[str, int], after: Dict[str, int]
+    ) -> Dict[str, int]:
+        """Per-query pooled-solver spend: ``after - before``, clamped at
+        zero (a solver GC'd mid-query can make a raw counter regress)."""
+        return {
+            name: max(0, value - before.get(name, 0))
+            for name, value in after.items()
+        }
+
+    def _note_solver_delta(self, delta: Dict[str, int]) -> None:
+        for name, value in delta.items():
+            self.solver_stat_totals[name] = (
+                self.solver_stat_totals.get(name, 0) + value
+            )
 
     # ------------------------------------------------------------------
     def _semantics(self, name: Optional[str]) -> Semantics:
@@ -139,6 +164,7 @@ class DatabaseSession:
         """
         engine = self._semantics(semantics)
         formula = self._parse(query)
+        solver_before = SOLVER_POOL.core_stats()
         with count_sat_calls() as counter:
             if mode == "cautious":
                 verdict = engine.infers(self.db, formula)
@@ -146,6 +172,9 @@ class DatabaseSession:
                 verdict = engine.infers_brave(self.db, formula)
             else:
                 raise ValueError(f"unknown mode {mode!r}")
+        solver_delta = self._solver_delta(
+            solver_before, SOLVER_POOL.core_stats()
+        )
         certificate = None
         if (
             mode == "cautious"
@@ -161,12 +190,14 @@ class DatabaseSession:
                 certificate = None  # engines without a certificate path
         self.total_sat_calls += counter.calls
         self.queries_answered += 1
+        self._note_solver_delta(solver_delta)
         return Answer(
             verdict=verdict,
             semantics=engine.name,
             query=formula,
             sat_calls=counter.calls,
             certificate=certificate,
+            solver_stats=solver_delta,
         )
 
     def ask_literal(
@@ -178,10 +209,15 @@ class DatabaseSession:
         engine = self._semantics(semantics)
         if isinstance(literal, str):
             literal = Literal.parse(literal)
+        solver_before = SOLVER_POOL.core_stats()
         with count_sat_calls() as counter:
             verdict = engine.infers_literal(self.db, literal)
+        solver_delta = self._solver_delta(
+            solver_before, SOLVER_POOL.core_stats()
+        )
         self.total_sat_calls += counter.calls
         self.queries_answered += 1
+        self._note_solver_delta(solver_delta)
         from .semantics.base import literal_formula
 
         return Answer(
@@ -189,6 +225,7 @@ class DatabaseSession:
             semantics=engine.name,
             query=literal_formula(literal),
             sat_calls=counter.calls,
+            solver_stats=solver_delta,
         )
 
     def models(self, semantics: Optional[str] = None) -> FrozenSet:
@@ -214,13 +251,23 @@ class DatabaseSession:
         """Aggregate session accounting, merged with the process-wide
         runtime counters (budgets tripped, faults injected, retries,
         fallbacks, timeouts — see
-        :data:`repro.runtime.budget.RUNTIME_STATS`)."""
+        :data:`repro.runtime.budget.RUNTIME_STATS`) and the solver-pool
+        counters.  CDCL search work (``solver_*`` keys) is the *sum of
+        this session's per-query deltas*, not the pool's lifetime
+        totals — other sessions sharing the pool don't leak in."""
         stats = {
             "queries_answered": self.queries_answered,
             "total_sat_calls": self.total_sat_calls,
             "semantics_cached": len(self._semantics_cache),
         }
         stats.update(RUNTIME_STATS.snapshot())
+        stats.update(solver_pool_stats())
+        stats.update(
+            {
+                f"solver_{name}": value
+                for name, value in sorted(self.solver_stat_totals.items())
+            }
+        )
         return stats
 
     def cache_stats(self) -> Dict:

@@ -87,6 +87,26 @@ def stratified_tower(levels: int, width: int = 2) -> DisjunctiveDatabase:
     return DisjunctiveDatabase(clauses)
 
 
+def disjoint_components(
+    copies: int, component_size: int = 3
+) -> DisjunctiveDatabase:
+    """``copies`` vocabulary-disjoint copies of
+    :func:`disjunctive_chain`, prefixed ``c<k>_`` — the clause graph has
+    exactly ``copies`` connected components, so ``MM`` factors into a
+    product of per-component sweeps.  A decomposing enumerator explores
+    ``copies * 2^component_size`` nodes where a monolithic one explores
+    ``2^(copies * component_size)``: the asymptotic-win family for
+    connected-component decomposition."""
+    from ..logic.transform import rename_atoms
+
+    clauses: List[Clause] = []
+    base = disjunctive_chain(component_size)
+    for k in range(1, copies + 1):
+        copy = rename_atoms(base, lambda a, k=k: f"c{k}_{a}")
+        clauses.extend(sorted(copy.clauses))
+    return DisjunctiveDatabase(clauses)
+
+
 def pigeonhole_cnf_db(pigeons: int) -> DisjunctiveDatabase:
     """The pigeonhole principle PHP(p, p-1) as a database with integrity
     clauses — unsatisfiable, hard for resolution-style reasoning; used to

@@ -1,9 +1,10 @@
-"""Differential test harness: cached vs. oracle vs. brute engines.
+"""Differential test harness: cached vs. oracle vs. fresh vs. brute.
 
 Seeded random databases from :mod:`repro.workloads.random_db`, one batch
 per syntactic regime, are cross-checked across every registered paper
 semantics applicable to that regime: the memoizing ``cached`` engine,
-the uncached ``oracle`` decision procedures, and the ``brute``
+the pooled incremental ``oracle`` decision procedures, the identical
+procedures on throwaway ``fresh`` solvers, and the ``brute``
 ground-truth enumerator must agree on ``model_set``, ``infers`` (on a
 seeded random query formula), ``infers_literal`` (both polarities) and
 ``has_model``.
@@ -72,40 +73,55 @@ def build_db(regime: str, seed: int):
 
 
 def engines(name: str):
-    """(brute ground truth, uncached oracle, memoizing cached)."""
+    """(brute ground truth, pooled oracle, fresh-solver oracle,
+    memoizing cached)."""
     return (
         get_semantics(name, engine="brute"),
         get_semantics(name, engine="oracle"),
+        get_semantics(name, engine="fresh"),
         get_semantics(name, engine="cached"),
     )
 
 
 def check_agreement(db, names, query_seed: int = 0) -> None:
-    """Assert three-engine agreement on every decision problem."""
+    """Assert four-engine agreement on every decision problem.
+
+    ``oracle`` runs the decision procedures on pooled incremental
+    solvers, ``fresh`` runs the identical procedures on throwaway
+    per-query solvers — their agreement pins the solver-reuse layer
+    (selector retraction, clause reclamation, recycling) to the
+    fresh-solver ground truth on every database of the corpus.
+    """
     query = random_query_formula(
         sorted(db.vocabulary), depth=2, seed=query_seed
     )
     some_atom = sorted(db.vocabulary)[0]
     literals = [Literal.pos(some_atom), Literal.neg(some_atom)]
     for name in names:
-        brute, oracle, cached = engines(name)
+        brute, *others = engines(name)
         expected_models = brute.model_set(db)
-        assert oracle.model_set(db) == expected_models, (name, "model_set")
-        assert cached.model_set(db) == expected_models, (name, "model_set")
-        expected = brute.infers(db, query)
-        assert oracle.infers(db, query) == expected, (name, "infers")
-        assert cached.infers(db, query) == expected, (name, "infers")
-        for literal in literals:
-            expected = brute.infers_literal(db, literal)
-            assert oracle.infers_literal(db, literal) == expected, (
-                name, "infers_literal", literal,
+        expected_infers = brute.infers(db, query)
+        expected_literal = {
+            literal: brute.infers_literal(db, literal)
+            for literal in literals
+        }
+        expected_has_model = brute.has_model(db)
+        for other in others:
+            tag = (name, other.engine)
+            assert other.model_set(db) == expected_models, (
+                tag, "model_set",
             )
-            assert cached.infers_literal(db, literal) == expected, (
-                name, "infers_literal", literal,
+            assert other.infers(db, query) == expected_infers, (
+                tag, "infers",
             )
-        expected = brute.has_model(db)
-        assert oracle.has_model(db) == expected, (name, "has_model")
-        assert cached.has_model(db) == expected, (name, "has_model")
+            for literal in literals:
+                assert (
+                    other.infers_literal(db, literal)
+                    == expected_literal[literal]
+                ), (tag, "infers_literal", literal)
+            assert other.has_model(db) == expected_has_model, (
+                tag, "has_model",
+            )
 
 
 # ----------------------------------------------------------------------
@@ -168,11 +184,9 @@ def test_partitioned_semantics_differential():
         query = random_query_formula(atoms, depth=2, seed=seed)
         for name in ("ccwa", "ecwa", "circ"):
             brute = get_semantics(name, engine="brute", p=p, z=z)
-            oracle = get_semantics(name, engine="oracle", p=p, z=z)
-            cached = get_semantics(name, engine="cached", p=p, z=z)
             expected_models = brute.model_set(db)
-            assert oracle.model_set(db) == expected_models
-            assert cached.model_set(db) == expected_models
             expected = brute.infers(db, query)
-            assert oracle.infers(db, query) == expected
-            assert cached.infers(db, query) == expected
+            for engine in ("oracle", "fresh", "cached"):
+                other = get_semantics(name, engine=engine, p=p, z=z)
+                assert other.model_set(db) == expected_models, engine
+                assert other.infers(db, query) == expected, engine
