@@ -26,8 +26,10 @@ rate of zero (the regression the gate exists to catch).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
+import statistics
 import sys
 import time
 from typing import Dict, List
@@ -201,6 +203,91 @@ def run_decomposition(copies: int, component_size: int) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Observability overhead: instrumented-but-disabled vs bare methods
+# ----------------------------------------------------------------------
+def run_overhead_check(smoke: bool, attempts: int = 11) -> Dict:
+    """A/B the disabled-tracer instrumentation cost on the repeated-query
+    workload: the entry-point wrappers (counter tick + no-op check) vs
+    the genuinely unwrapped methods.
+
+    Measurement discipline, because the effect is microseconds against
+    milliseconds of shared-box noise: CPU time (``process_time``; the
+    suite is single-threaded, so this discards CPU steal), GC disabled
+    during timing, and the two variants timed *back-to-back within each
+    attempt* with the reported overhead the **median of the per-attempt
+    ratios** — clock-frequency drift is slow against one ~20 ms pair,
+    so each ratio compares like with like, and the median discards the
+    attempts a descheduling landed in."""
+    from repro.semantics.base import uninstrumented
+
+    db = exclusive_pairs(6)
+    repeat = 4 if smoke else 8
+
+    def timed() -> float:
+        clear_solver_pool()
+        ENGINE_CACHE.clear()
+        # GC pauses are the dominant remaining noise; a cycle collection
+        # landing in one variant but not the other would swamp the
+        # wrapper cost.
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.process_time()
+            _suite_gcwa_closure(db, repeat, "oracle")
+            return (time.process_time() - start) * 1000.0
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    ratios = []
+    bare_ms = instrumented_ms = None
+    for index in range(attempts):
+        # Alternate which variant goes first so a systematic first-run
+        # penalty (cold caches after the pool clear) cancels out.
+        if index % 2 == 0:
+            with uninstrumented():
+                bare = timed()
+            instr = timed()
+        else:
+            instr = timed()
+            with uninstrumented():
+                bare = timed()
+        ratios.append(instr / bare if bare else 1.0)
+        bare_ms = bare if bare_ms is None else min(bare_ms, bare)
+        instrumented_ms = (
+            instr if instrumented_ms is None else min(instrumented_ms, instr)
+        )
+    overhead_pct = (statistics.median(ratios) - 1.0) * 100.0
+    return {
+        "workload": "gcwa-closure",
+        "repeat": repeat,
+        "attempts": attempts,
+        "bare_ms": round(bare_ms, 3),
+        "instrumented_ms": round(instrumented_ms, 3),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def write_trace_jsonl(path: str) -> int:
+    """Run a small traced session workload and dump the span trees (the
+    CI bench-smoke artifact)."""
+    from repro.obs.trace import Tracer, use_tracer
+    from repro.session import DatabaseSession
+
+    tracer = Tracer()
+    session = DatabaseSession(exclusive_pairs(4))
+    with use_tracer(tracer):
+        session.has_model()
+        for query in ("x1 | y1", "~x1 | ~y1", "x2 | y3"):
+            session.ask(query)
+        session.ask_literal("~x1")
+    roots = len(tracer.finished_roots())
+    with open(path, "w") as handle:
+        handle.write(tracer.export_jsonl())
+    return roots
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def main(argv=None) -> int:
@@ -229,6 +316,29 @@ def main(argv=None) -> int:
             "exit nonzero if the best repeated-query speedup is below "
             "FACTOR (wall-clock; run on a quiet machine)"
         ),
+    )
+    parser.add_argument(
+        "--overhead-check",
+        action="store_true",
+        help=(
+            "A/B the disabled-tracer instrumentation against bare "
+            "(uninstrumented) entry points and exit nonzero if the "
+            "overhead exceeds the threshold"
+        ),
+    )
+    parser.add_argument(
+        "--overhead-threshold",
+        type=float,
+        default=3.0,
+        metavar="PCT",
+        help="max tolerated instrumentation overhead (default 3%%)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also run a small traced session workload and write the "
+        "span trees as JSONL (the CI artifact)",
     )
     args = parser.parse_args(argv)
 
@@ -266,6 +376,21 @@ def main(argv=None) -> int:
         "decomposition": decomposition,
         "best_speedup": max(r["speedup"] for r in repeated),
     }
+
+    overhead = None
+    if args.overhead_check:
+        overhead = run_overhead_check(smoke=args.smoke)
+        results["observability_overhead"] = overhead
+        print(
+            f"{'obs-overhead':<24} bare {overhead['bare_ms']:>9.1f}ms  "
+            f"instr. {overhead['instrumented_ms']:>8.1f}ms  "
+            f"overhead {overhead['overhead_pct']:>5.2f}%"
+        )
+
+    if args.trace_jsonl is not None:
+        roots = write_trace_jsonl(args.trace_jsonl)
+        print(f"wrote {roots} trace roots to {args.trace_jsonl}")
+
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -283,6 +408,12 @@ def main(argv=None) -> int:
             failures.append(
                 f"best speedup {results['best_speedup']}x is below "
                 f"{args.check_speedup}x"
+            )
+    if overhead is not None:
+        if overhead["overhead_pct"] > args.overhead_threshold:
+            failures.append(
+                f"instrumentation overhead {overhead['overhead_pct']}% "
+                f"exceeds {args.overhead_threshold}%"
             )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -16,7 +16,11 @@ Subcommands:
   instead of an unbounded run; exit code 4 signals a timeout/failure;
 * ``faults [FILE]`` — deterministic fault-injection demo: run a query
   under a seeded :class:`~repro.runtime.faults.FaultPlan` and print the
-  degradation path taken.
+  degradation path taken;
+* ``trace FILE --query F`` — run queries under a recording
+  :class:`~repro.obs.trace.Tracer` and print the span tree (or JSON
+  lines with ``--jsonl``), the per-query complexity certificates, and
+  optionally the full metrics exposition (``--metrics``).
 
 ``FILE`` is a database in the surface syntax (``-`` for stdin).
 """
@@ -286,6 +290,51 @@ def _cmd_faults(args) -> int:
     return 0 if outcome.ok else EXIT_NO_ANSWER
 
 
+def _cmd_trace(args) -> int:
+    from .obs.trace import Tracer, use_tracer
+    from .session import DatabaseSession
+
+    db = _read_database(args.file)
+    tracer = Tracer()
+    session = DatabaseSession(
+        db, default_semantics=args.semantics, engine=args.engine
+    )
+    answers = []
+    with use_tracer(tracer):
+        for _ in range(max(1, args.repeat)):
+            session.has_model()
+            for query in args.query or ():
+                answers.append(session.ask(query))
+            for literal in args.literal or ():
+                answers.append(session.ask_literal(literal))
+    if args.jsonl is not None:
+        payload = tracer.export_jsonl()
+        if args.jsonl == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.jsonl, "w") as handle:
+                handle.write(payload)
+            print(
+                f"wrote {len(tracer.finished_roots())} trace root(s) "
+                f"to {args.jsonl}"
+            )
+    else:
+        print(tracer.render_tree())
+    for answer in answers:
+        print(answer.render())
+        if answer.complexity is not None:
+            print(f"  certificate: {answer.complexity.render()}")
+    print(
+        f"certificates: {session.certificates_checked} checked, "
+        f"{session.certificate_violations} violated"
+    )
+    if args.metrics:
+        from .obs.metrics import METRICS
+
+        print(METRICS.expose(), end="")
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from .complexity.classes import Regime
     from .tables import render_table
@@ -546,6 +595,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--z", help="comma-separated floating atoms (CCWA/ECWA/ICWA)"
     )
     faults_cmd.set_defaults(handler=_cmd_faults, engine="resilient")
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help=(
+            "run queries under a recording tracer and print the span "
+            "tree with complexity certificates"
+        ),
+    )
+    trace_cmd.add_argument("file", help="database file ('-' for stdin)")
+    trace_cmd.add_argument(
+        "--query", "-q", action="append",
+        help="formula to infer (repeatable)",
+    )
+    trace_cmd.add_argument(
+        "--literal", "-l", action="append",
+        help="literal to infer (repeatable, e.g. 'a' or '~a')",
+    )
+    add_semantics_options(trace_cmd)
+    trace_cmd.add_argument(
+        "--repeat", type=int, default=1,
+        help="identical passes (2+ shows cache-warm spans)",
+    )
+    trace_cmd.add_argument(
+        "--jsonl", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit spans as JSON lines to PATH (default: stdout) "
+             "instead of the human-readable tree",
+    )
+    trace_cmd.add_argument(
+        "--metrics", action="store_true",
+        help="also print the Prometheus-style metrics exposition",
+    )
+    trace_cmd.set_defaults(handler=_cmd_trace)
 
     return parser
 

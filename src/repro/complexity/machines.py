@@ -37,6 +37,10 @@ from ..logic.clause import Clause
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Implies, Not, Var, conj, disj
 from ..logic.transform import rename_atoms
+from ..obs.accounting import (
+    note_sigma2_dispatch as _note_sigma2_dispatch,
+    sigma2_dispatch as _sigma2_dispatch,
+)
 from ..runtime.budget import check_deadline
 from .oracles import Sigma2Oracle
 
@@ -168,7 +172,10 @@ def _solve_union_query(
     oracle.queries += 1
     from .oracles import count_sat_calls
 
-    with count_sat_calls() as counter:
+    # One Σ₂ᵖ dispatch: the inner CEGAR loop only consults the NP oracle
+    # (``witness_below`` is a single SAT call), so the dispatch depth
+    # stays at one no matter how many refinement rounds run.
+    with _sigma2_dispatch(), count_sat_calls() as counter:
         union, renamings = _copied_database(db, k)
         searcher = SatSolver()
         searcher.add_database(union)
@@ -251,6 +258,7 @@ def _final_query(
         from .oracles import count_sat_calls
 
         oracle.queries += 1
+        _note_sigma2_dispatch()
         with count_sat_calls() as counter:
             solver = SatSolver()
             solver.add_formula(side)

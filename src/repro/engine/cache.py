@@ -28,6 +28,8 @@ import threading
 from collections import Counter, OrderedDict
 from typing import Any, Callable, Dict, Hashable, Tuple
 
+from ..obs.metrics import METRICS
+
 #: Default maximum number of entries retained across all kinds.
 DEFAULT_MAXSIZE = 4096
 
@@ -165,6 +167,20 @@ class EngineCache:
 
 #: The process-wide cache instance.
 ENGINE_CACHE = EngineCache()
+
+
+def _cache_metrics() -> Dict[str, float]:
+    stats = ENGINE_CACHE.stats()
+    return {
+        f"repro_cache_{name}": float(stats[name])
+        for name in ("entries", "maxsize", "hits", "misses", "evictions",
+                     "hit_rate")
+    }
+
+
+# Pull-style exposition: the cache keeps its own per-kind counters under
+# its own lock; the registry polls the flat totals at expose() time.
+METRICS.register_collector("engine_cache", _cache_metrics)
 
 
 def cache_stats() -> Dict[str, Any]:

@@ -39,6 +39,7 @@ from ..models.enumeration import (
     minimal_models_brute,
     models_in_block,
 )
+from ..obs import trace as _trace
 from ..runtime.budget import RUNTIME_STATS, current_scope
 from ..runtime.faults import maybe_crash_worker
 
@@ -126,34 +127,44 @@ def parallel_all_models(
     ):
         return all_models(db)
     blocks = split_blocks(db.vocabulary, workers)
-    dispatched, crashed = [], []
-    for block in blocks:
-        (crashed if maybe_crash_worker() else dispatched).append(block)
-    pool = _make_pool(workers) if dispatched else None
-    chunks: List[List[Interpretation]] = []
-    if dispatched:
-        results = (
-            _pool_map(
-                pool,
-                _enumerate_block,
-                [(db, ft, ff) for ft, ff in dispatched],
+    # Span on the parent side only: worker processes cannot contribute to
+    # this process's trace, so the fan-out is recorded as one span with
+    # block counts rather than per-worker children.
+    with _trace.active_tracer().span(
+        "parallel.all_models",
+        workers=workers,
+        blocks=len(blocks),
+        atoms=len(db.vocabulary),
+    ) as span:
+        dispatched, crashed = [], []
+        for block in blocks:
+            (crashed if maybe_crash_worker() else dispatched).append(block)
+        pool = _make_pool(workers) if dispatched else None
+        chunks: List[List[Interpretation]] = []
+        if dispatched:
+            results = (
+                _pool_map(
+                    pool,
+                    _enumerate_block,
+                    [(db, ft, ff) for ft, ff in dispatched],
+                )
+                if pool is not None
+                else None
             )
-            if pool is not None
-            else None
-        )
-        if results is None:  # no pool, or the pool died: do it here
-            results = [
-                models_in_block(db, ft, ff) for ft, ff in dispatched
-            ]
-        chunks.extend(results)
-    for ft, ff in crashed:
-        RUNTIME_STATS.worker_crashes_recovered += 1
-        chunks.append(models_in_block(db, ft, ff))
-    atoms = sorted(db.vocabulary)
-    rank = {a: i for i, a in enumerate(atoms)}
-    merged = [m for chunk in chunks for m in chunk]
-    merged.sort(key=lambda m: sum(1 << rank[a] for a in m))
-    return merged
+            if results is None:  # no pool, or the pool died: do it here
+                results = [
+                    models_in_block(db, ft, ff) for ft, ff in dispatched
+                ]
+            chunks.extend(results)
+        for ft, ff in crashed:
+            RUNTIME_STATS.worker_crashes_recovered += 1
+            chunks.append(models_in_block(db, ft, ff))
+        atoms = sorted(db.vocabulary)
+        rank = {a: i for i, a in enumerate(atoms)}
+        merged = [m for chunk in chunks for m in chunk]
+        merged.sort(key=lambda m: sum(1 << rank[a] for a in m))
+        span.set_attributes(models=len(merged), crashed_blocks=len(crashed))
+        return merged
 
 
 def _minimality_chunk(
@@ -186,45 +197,53 @@ def parallel_minimal_models(
     from ..models.enumeration import _rank_order
     from ..sat.decompose import decompose, product_interpretations
 
-    parts = decompose(db)
-    if parts is not None:
-        per_part = [
-            parallel_minimal_models(part, max_workers=workers)
-            for part in parts
-        ]
-        return _rank_order(db, product_interpretations(per_part))
-    models = parallel_all_models(db, max_workers=workers)
-    if not models:
-        return []
-    chunk_size = max(1, (len(models) + workers - 1) // workers)
-    chunks = [
-        models[i : i + chunk_size]
-        for i in range(0, len(models), chunk_size)
-    ]
-    dispatched, crashed = [], []
-    for chunk in chunks:
-        (crashed if maybe_crash_worker() else dispatched).append(chunk)
-    pool = _make_pool(workers) if dispatched else None
-    filtered: List[List[Interpretation]] = []
-    if dispatched:
-        results = (
-            _pool_map(
-                pool,
-                _minimality_chunk,
-                [(chunk, models) for chunk in dispatched],
-            )
-            if pool is not None
-            else None
-        )
-        if results is None:
-            results = [
-                _minimality_chunk((chunk, models)) for chunk in dispatched
+    with _trace.active_tracer().span(
+        "parallel.minimal_models",
+        workers=workers,
+        atoms=len(db.vocabulary),
+    ) as span:
+        parts = decompose(db)
+        if parts is not None:
+            span.set_attribute("components", len(parts))
+            per_part = [
+                parallel_minimal_models(part, max_workers=workers)
+                for part in parts
             ]
-        filtered.extend(results)
-    for chunk in crashed:
-        RUNTIME_STATS.worker_crashes_recovered += 1
-        filtered.append(_minimality_chunk((chunk, models)))
-    return [m for chunk in filtered for m in chunk]
+            return _rank_order(db, product_interpretations(per_part))
+        models = parallel_all_models(db, max_workers=workers)
+        if not models:
+            return []
+        chunk_size = max(1, (len(models) + workers - 1) // workers)
+        chunks = [
+            models[i : i + chunk_size]
+            for i in range(0, len(models), chunk_size)
+        ]
+        dispatched, crashed = [], []
+        for chunk in chunks:
+            (crashed if maybe_crash_worker() else dispatched).append(chunk)
+        pool = _make_pool(workers) if dispatched else None
+        filtered: List[List[Interpretation]] = []
+        if dispatched:
+            results = (
+                _pool_map(
+                    pool,
+                    _minimality_chunk,
+                    [(chunk, models) for chunk in dispatched],
+                )
+                if pool is not None
+                else None
+            )
+            if results is None:
+                results = [
+                    _minimality_chunk((chunk, models))
+                    for chunk in dispatched
+                ]
+            filtered.extend(results)
+        for chunk in crashed:
+            RUNTIME_STATS.worker_crashes_recovered += 1
+            filtered.append(_minimality_chunk((chunk, models)))
+        span.set_attributes(crashed_chunks=len(crashed))
+        return [m for chunk in filtered for m in chunk]
 
 
 def parallel_map(

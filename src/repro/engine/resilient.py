@@ -48,6 +48,7 @@ from ..logic.atoms import Literal
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula
 from ..logic.interpretation import Interpretation
+from ..obs import trace as _trace
 from ..runtime.budget import (
     RUNTIME_STATS,
     Budget,
@@ -56,6 +57,7 @@ from ..runtime.budget import (
 )
 from ..runtime.faults import FaultInjected, WorkerCrash
 from ..runtime.outcome import Outcome, Status
+from ..sat.incremental import checkout_token
 from ..semantics.base import Semantics
 
 #: Exception types the retry ladder treats as transient.
@@ -141,6 +143,24 @@ class ResilientSemantics(Semantics):
         """Run ``inner.<method>(db, *args)`` under the budget and the
         degradation ladder, always returning an
         :class:`~repro.runtime.outcome.Outcome`."""
+        # One checkout window per run(): a retry re-acquires the very
+        # solver the failed attempt just released, which must not count
+        # as a fresh pool reuse in session.stats().
+        with checkout_token():
+            return self._run_ladder(method, db, *args)
+
+    @staticmethod
+    def _event(name: str, **attributes) -> None:
+        """Attach a ladder event to the enclosing span, if tracing."""
+        tracer = _trace.active_tracer()
+        if not tracer.is_noop:
+            span = tracer.current()
+            if span is not None:
+                span.add_event(name, **attributes)
+
+    def _run_ladder(
+        self, method: str, db: DisjunctiveDatabase, *args
+    ) -> Outcome:
         call = getattr(self.inner, method)
         attempts = 0
         faults = 0
@@ -168,12 +188,23 @@ class ResilientSemantics(Semantics):
                 delay = next(delays, None)
                 if delay is not None:
                     RUNTIME_STATS.retries += 1
+                    self._event(
+                        "retry",
+                        attempt=attempts,
+                        delay_ms=delay,
+                        fault=type(exc).__name__,
+                    )
                     if delay > 0:
                         self.retry.sleeper(delay / 1000.0)
         # Retries exhausted on transient faults: degrade to the fallback
         # engine (which shares no SAT fault surface with the primary).
         if self.fallback is not None:
             RUNTIME_STATS.fallbacks += 1
+            self._event(
+                "fallback",
+                engine=self.fallback.engine,
+                faults=faults,
+            )
             try:
                 with budget_scope(self.budget) as scope:
                     value = getattr(self.fallback, method)(db, *args)
@@ -206,6 +237,9 @@ class ResilientSemantics(Semantics):
         self, exc: BudgetExceeded, attempts: int, faults: int
     ) -> Outcome:
         RUNTIME_STATS.timeouts += 1
+        self._event(
+            "timeout", resource=exc.resource, attempts=attempts,
+        )
         return self._record(Outcome(
             status=Status.TIMEOUT,
             usage=exc.usage,

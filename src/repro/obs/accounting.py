@@ -1,0 +1,181 @@
+"""Oracle accounting: who asked how many NP questions, and how deeply.
+
+The paper's upper bounds are statements about *counted* oracle access:
+a coNP decision procedure makes O(1) NP-oracle dispatches, a Π₂ᵖ
+procedure may make polynomially many Σ₂ᵖ dispatches but never nests
+them more than one level, Θ₃ᵖ procedures are Σ₂ᵖ-dispatch-bounded.
+This module is the single place where those dispatches are ticked:
+
+* :func:`note_np_call` — one NP-oracle invocation (a SAT ``solve``);
+  called from :func:`repro.runtime.observe_sat_call`, i.e. it sees the
+  exact same stream of events as the budget governor.
+* :func:`sigma2_dispatch` / :func:`counts_as_sigma2_dispatch` — one
+  Σ₂ᵖ-oracle invocation.  Only the *primitive realizations* are marked
+  (the three ``find_minimal_satisfying`` methods and the union-query
+  machine) — wrappers like :class:`repro.complexity.oracles.Sigma2Oracle`
+  delegate 1:1 and must not be marked, or the bookkeeping would fake a
+  nesting depth of two for a flat procedure.
+* :func:`note_nodes` — brute-force search nodes, fed from
+  :func:`repro.runtime.budget.note_nodes`.
+
+Dispatch *depth* is tracked in a :class:`~contextvars.ContextVar`, so
+re-entrant Σ₂ᵖ dispatches (which the certifier must flag for Π₂ᵖ
+claims) are visible even across generator suspensions in the same
+context.
+
+:func:`observe` captures a window of this global stream: it snapshots
+the monotone counters at entry and fills an :class:`OracleObservation`
+with the deltas (plus the max dispatch depth seen *inside the window*)
+at exit.  Observations nest; each sees only its own window.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.obs.metrics import METRICS
+
+NP_CALLS = METRICS.counter(
+    "repro_oracle_np_calls_total",
+    "NP-oracle invocations (SAT solver solve() calls)",
+)
+SIGMA2_DISPATCHES = METRICS.counter(
+    "repro_oracle_sigma2_dispatches_total",
+    "Sigma2p-oracle invocations (minimal-model primitive dispatches)",
+)
+SEARCH_NODES = METRICS.counter(
+    "repro_search_nodes_total",
+    "Brute-force enumeration nodes visited",
+)
+MAX_DISPATCH_DEPTH = METRICS.gauge(
+    "repro_oracle_max_sigma2_depth",
+    "Deepest Sigma2p dispatch nesting observed process-wide",
+)
+
+#: Current Σ₂ᵖ dispatch nesting depth in this context (0 = outside any).
+_DISPATCH_DEPTH: ContextVar[int] = ContextVar("repro_sigma2_depth", default=0)
+
+#: Stack of live observation windows in this context.
+_ACTIVE: ContextVar[Tuple["_Window", ...]] = ContextVar(
+    "repro_obs_windows", default=()
+)
+
+
+@dataclass
+class OracleObservation:
+    """Oracle work observed inside one :func:`observe` window."""
+
+    np_calls: int = 0
+    sigma2_dispatches: int = 0
+    nodes: int = 0
+    max_sigma2_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "np_calls": self.np_calls,
+            "sigma2_dispatches": self.sigma2_dispatches,
+            "nodes": self.nodes,
+            "max_sigma2_depth": self.max_sigma2_depth,
+        }
+
+
+class _Window:
+    __slots__ = ("start_np", "start_sigma2", "start_nodes", "max_depth")
+
+    def __init__(self) -> None:
+        self.start_np = NP_CALLS.value
+        self.start_sigma2 = SIGMA2_DISPATCHES.value
+        self.start_nodes = SEARCH_NODES.value
+        self.max_depth = 0
+
+
+def note_np_call() -> None:
+    """Tick one NP-oracle invocation."""
+    NP_CALLS.inc()
+
+
+def note_nodes(count: int = 1) -> None:
+    """Tick ``count`` brute-force search nodes."""
+    SEARCH_NODES.inc(count)
+
+
+def current_dispatch_depth() -> int:
+    """The Σ₂ᵖ dispatch nesting depth of the calling context."""
+    return _DISPATCH_DEPTH.get()
+
+
+def _record_depth(depth: int) -> None:
+    if depth > MAX_DISPATCH_DEPTH.value:
+        MAX_DISPATCH_DEPTH.set(depth)
+    for window in _ACTIVE.get():
+        if depth > window.max_depth:
+            window.max_depth = depth
+
+
+@contextmanager
+def sigma2_dispatch() -> Iterator[None]:
+    """One Σ₂ᵖ-oracle dispatch; nested dispatches raise the depth."""
+    SIGMA2_DISPATCHES.inc()
+    depth = _DISPATCH_DEPTH.get() + 1
+    token = _DISPATCH_DEPTH.set(depth)
+    _record_depth(depth)
+    try:
+        yield
+    finally:
+        _DISPATCH_DEPTH.reset(token)
+
+
+def note_sigma2_dispatch() -> None:
+    """A degenerate (no inner work) Σ₂ᵖ dispatch, e.g. the machine's
+    ``k* = 0`` branch that answers with a single plain SAT call."""
+    SIGMA2_DISPATCHES.inc()
+    _record_depth(_DISPATCH_DEPTH.get() + 1)
+
+
+def counts_as_sigma2_dispatch(fn):
+    """Mark a method as a Σ₂ᵖ-oracle primitive realization."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with sigma2_dispatch():
+            return fn(*args, **kwargs)
+
+    wrapper._counts_as_sigma2_dispatch = True
+    return wrapper
+
+
+@contextmanager
+def observe() -> Iterator[OracleObservation]:
+    """Capture the oracle work of a code window.
+
+    The yielded :class:`OracleObservation` is filled when the block
+    exits (including on error — a budget trip mid-query still leaves a
+    meaningful partial observation behind).
+    """
+    observation = OracleObservation()
+    window = _Window()
+    token = _ACTIVE.set(_ACTIVE.get() + (window,))
+    try:
+        yield observation
+    finally:
+        _ACTIVE.reset(token)
+        observation.np_calls = NP_CALLS.value - window.start_np
+        observation.sigma2_dispatches = (
+            SIGMA2_DISPATCHES.value - window.start_sigma2
+        )
+        observation.nodes = SEARCH_NODES.value - window.start_nodes
+        observation.max_sigma2_depth = window.max_depth
+
+
+def totals() -> OracleObservation:
+    """Process-lifetime totals (monotone; never reset by queries)."""
+    return OracleObservation(
+        np_calls=NP_CALLS.value,
+        sigma2_dispatches=SIGMA2_DISPATCHES.value,
+        nodes=SEARCH_NODES.value,
+        max_sigma2_depth=MAX_DISPATCH_DEPTH.value,
+    )

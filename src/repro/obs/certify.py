@@ -1,0 +1,402 @@
+"""Complexity certification: observed oracle work vs. Table 1/Table 2.
+
+The paper's upper bounds are promises about the *shape* of a decision
+procedure: a coNP cell may consult an NP oracle O(1) times and must
+never dispatch a Σ₂ᵖ oracle; a Π₂ᵖ cell may make polynomially many Σ₂ᵖ
+dispatches but never nest them (depth ≤ 1); a Θ₃ᵖ = P^Σ₂ᵖ[O(log n)]
+cell is realized here by the linear witness-counting machine, so its
+dispatch count is linear in the vocabulary (the O(log n) binary-search
+machine of :func:`repro.complexity.machines.theta_inference` is
+exercised separately).  The :class:`Certifier` turns each table cell
+into a :class:`CellEnvelope` of :class:`Bound`\\ s over the counters of
+:mod:`repro.obs.accounting` and checks every query's
+:class:`~repro.obs.accounting.OracleObservation` against it.
+
+A failed check is **not** an exception by default: production mode
+records a :class:`CertificateViolation` (span event + metric) and keeps
+serving; ``strict=True`` (the test suite) raises
+:class:`CertificationError` instead.
+
+Engine scope:
+
+* ``oracle`` / ``fresh`` / ``cached`` — certified against the oracle
+  envelopes (np-calls, Σ₂ᵖ dispatches, dispatch depth);
+* ``brute`` — certified against the exponential *node* envelope (brute
+  enumeration is the ground truth, not a bounded-oracle machine, so its
+  oracle counters are not constrained);
+* ``resilient`` — not certified: retries re-run the procedure and
+  legitimately multiply every counter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.complexity.classes import CC, Claim, Regime, Task, table
+from repro.obs.accounting import OracleObservation
+from repro.obs.metrics import METRICS
+
+VIOLATIONS = METRICS.counter(
+    "repro_certificate_violations_total",
+    "Per-query complexity-certificate violations",
+    labelnames=("semantics", "task"),
+)
+CERTIFICATES = METRICS.counter(
+    "repro_certificates_checked_total",
+    "Per-query complexity certificates checked",
+)
+
+#: Engines certified against the oracle envelopes.
+ORACLE_ENGINES = ("oracle", "fresh", "cached")
+
+#: Registry aliases the certifier resolves without importing the
+#: semantics registry (kept tiny on purpose; ``canonical_name`` falls
+#: back to the live registry when available).
+_ALIASES = {"circ": "ecwa", "wgcwa": "ddr", "pms": "pws"}
+
+#: Map from session entry point to the paper's decision problem.
+TASK_FOR_METHOD = {
+    "ask": Task.FORMULA,
+    "infers": Task.FORMULA,
+    "ask_literal": Task.LITERAL,
+    "infers_literal": Task.LITERAL,
+    "has_model": Task.EXISTS_MODEL,
+}
+
+
+def canonical_name(semantics: str) -> str:
+    """Resolve a semantics name/alias to its table row name."""
+    name = semantics.lower()
+    try:  # prefer the live registry (knows every alias)
+        from repro.semantics.base import resolve_name
+
+        name = resolve_name(name)
+    except Exception:
+        pass
+    # The registry keeps ``circ`` as its own row; the tables fold it
+    # into ``ecwa`` (same semantics, same bounds).
+    return _ALIASES.get(name, name)
+
+
+class CertificationError(AssertionError):
+    """Raised in strict mode when an observation leaves its envelope."""
+
+    def __init__(self, certificate: "ComplexityCertificate"):
+        self.certificate = certificate
+        detail = "; ".join(v.render() for v in certificate.violations)
+        super().__init__(
+            f"complexity certificate violated for "
+            f"{certificate.semantics}/{certificate.task.name} "
+            f"({certificate.claim.render()}): {detail}"
+        )
+
+
+@dataclass(frozen=True)
+class Bound:
+    """``const + per_atom·n + exp_coef·exp_base^n`` as a function of the
+    vocabulary size ``n``; ``None``-like unboundedness via ``inf``."""
+
+    const: float = 0.0
+    per_atom: float = 0.0
+    exp_coef: float = 0.0
+    exp_base: float = 2.0
+
+    def limit(self, n: int) -> float:
+        value = self.const + self.per_atom * n
+        if self.exp_coef:
+            value += self.exp_coef * (self.exp_base ** n)
+        return value
+
+    def render(self) -> str:
+        if math.isinf(self.const):
+            return "unbounded"
+        parts = []
+        if self.const:
+            parts.append(f"{self.const:g}")
+        if self.per_atom:
+            parts.append(f"{self.per_atom:g}n")
+        if self.exp_coef:
+            parts.append(f"{self.exp_coef:g}*{self.exp_base:g}^n")
+        return " + ".join(parts) if parts else "0"
+
+
+#: No constraint.
+UNBOUNDED = Bound(const=math.inf)
+
+
+@dataclass(frozen=True)
+class CellEnvelope:
+    """Per-cell resource envelope the certifier enforces."""
+
+    np_calls: Bound = UNBOUNDED
+    sigma2_dispatches: Bound = UNBOUNDED
+    nodes: Bound = UNBOUNDED
+    max_sigma2_depth: int = 1
+
+    def render(self) -> str:
+        return (
+            f"np<={self.np_calls.render()} "
+            f"sigma2<={self.sigma2_dispatches.render()} "
+            f"nodes<={self.nodes.render()} "
+            f"depth<={self.max_sigma2_depth}"
+        )
+
+
+@dataclass(frozen=True)
+class CertificateViolation:
+    """One observed counter outside its certified bound."""
+
+    metric: str
+    observed: float
+    limit: float
+
+    def render(self) -> str:
+        return f"{self.metric}: observed {self.observed:g} > {self.limit:g}"
+
+
+@dataclass
+class ComplexityCertificate:
+    """The outcome of checking one query against its table cell."""
+
+    semantics: str
+    task: Task
+    regime: Regime
+    engine: str
+    claim: Claim
+    envelope: Optional[CellEnvelope]
+    observation: OracleObservation
+    atoms: int
+    violations: List[CertificateViolation] = field(default_factory=list)
+    certified: bool = True  # False => engine out of certification scope
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "semantics": self.semantics,
+            "task": self.task.name,
+            "regime": self.regime.name,
+            "engine": self.engine,
+            "claim": self.claim.render(),
+            "envelope": self.envelope.render() if self.envelope else None,
+            "certified": self.certified,
+            "ok": self.ok,
+            "observation": self.observation.as_dict(),
+            "violations": [v.render() for v in self.violations],
+        }
+
+    def render(self) -> str:
+        if not self.certified:
+            return (
+                f"{self.semantics}/{self.task.name}: "
+                f"uncertified (engine={self.engine})"
+            )
+        status = "ok" if self.ok else "VIOLATED"
+        text = (
+            f"{self.semantics}/{self.task.name} "
+            f"[{self.claim.render()}] {status}"
+        )
+        if self.violations:
+            text += ": " + "; ".join(v.render() for v in self.violations)
+        return text
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+# Oracle-engine defaults per claimed class.  The realized machines are:
+#  * coNP cells — O(1) plain SAT calls (the paper's headline invariant:
+#    GCWA-family inference resolves in a constant number of NP-oracle
+#    dispatches), no minimal-model (Σ₂ᵖ) primitive may be touched;
+#  * O(1)/P/NP cells — at most linearly many plain SAT calls (e.g. the
+#    Table 2 icwa EXISTS_MODEL machine verifies consistency by
+#    *computing* the perfect model, one call per stratum/atom), still
+#    no Σ₂ᵖ primitive;
+#  * Σ₂ᵖ/Π₂ᵖ cells — linearly many Σ₂ᵖ dispatches (one per candidate
+#    literal / blocking round), never nested; the plain SAT calls made
+#    *inside* a dispatch (the CEGAR descent) are accounted to the
+#    dispatch, not bounded separately;
+#  * Θ₃ᵖ cells — the linear witness-count machine: one Σ₂ᵖ dispatch per
+#    vocabulary atom plus bookkeeping.
+# The constants are deliberately generous envelopes over the realized
+# procedures (asserted tight-enough by the corpus tests); what they must
+# never allow is growth of the *wrong shape* — e.g. a coNP cell making
+# vocabulary-many oracle calls, or any cell nesting Σ₂ᵖ dispatches.
+_ORACLE_DEFAULTS: Dict[CC, CellEnvelope] = {
+    CC.CONSTANT: CellEnvelope(
+        np_calls=Bound(const=8, per_atom=8),
+        sigma2_dispatches=Bound(const=0),
+        max_sigma2_depth=0,
+    ),
+    CC.P: CellEnvelope(
+        np_calls=Bound(const=8, per_atom=4),
+        sigma2_dispatches=Bound(const=0),
+        max_sigma2_depth=0,
+    ),
+    CC.NP: CellEnvelope(
+        np_calls=Bound(const=8, per_atom=8),
+        sigma2_dispatches=Bound(const=0),
+        max_sigma2_depth=0,
+    ),
+    CC.CONP: CellEnvelope(
+        np_calls=Bound(const=8),
+        sigma2_dispatches=Bound(const=0),
+        max_sigma2_depth=0,
+    ),
+    CC.SIGMA2P: CellEnvelope(
+        sigma2_dispatches=Bound(const=4, per_atom=4),
+        max_sigma2_depth=1,
+    ),
+    CC.PI2P: CellEnvelope(
+        sigma2_dispatches=Bound(const=4, per_atom=4),
+        max_sigma2_depth=1,
+    ),
+    CC.THETA3P: CellEnvelope(
+        sigma2_dispatches=Bound(const=4, per_atom=4),
+        max_sigma2_depth=1,
+    ),
+}
+
+#: Brute enumeration sweeps the 2^n interpretation lattice up to O(2^n)
+#: times per query (a minimality check per candidate, repeated per
+#: sub-query of a formula), hence the 4^n = (2^n)² shape with a measured
+#: leading constant well under 256.
+_BRUTE_ENVELOPE = CellEnvelope(
+    nodes=Bound(const=64, exp_coef=256, exp_base=4.0),
+    max_sigma2_depth=1,
+)
+
+#: Per-cell overrides, keyed ``(semantics, task, regime)``; looked up
+#: before the class defaults.  Kept data-driven so measured deviations
+#: of a realized machine from the class default are explicit and
+#: reviewable here rather than hidden in looser global constants.
+ENVELOPE_OVERRIDES: Dict[Tuple[str, Task, Regime], CellEnvelope] = {}
+
+
+class Certifier:
+    """Checks per-query observations against the paper's tables.
+
+    ``strict=True`` raises :class:`CertificationError` on violation;
+    the default records the violation (metric + optional span event)
+    and returns the certificate.
+    """
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.checked = 0
+        self.violated: List[ComplexityCertificate] = []
+
+    # -- classification ------------------------------------------------
+    @staticmethod
+    def classify(db) -> Regime:
+        """Which table a database is scored against."""
+        return Regime.POSITIVE if db.is_positive else Regime.WITH_ICS
+
+    @staticmethod
+    def claim_for(semantics: str, task: Task, regime: Regime) -> Claim:
+        """The table cell for a (semantics, problem, regime) triple."""
+        name = canonical_name(semantics)
+        try:
+            return table(regime)[(name, task)]
+        except KeyError:
+            raise KeyError(
+                f"no Table {'1' if regime is Regime.POSITIVE else '2'} "
+                f"cell for ({name}, {task.name})"
+            ) from None
+
+    @staticmethod
+    def envelope_for(
+        semantics: str,
+        task: Task,
+        regime: Regime,
+        engine: str,
+    ) -> Optional[CellEnvelope]:
+        """The enforced envelope, or ``None`` if out of scope."""
+        if engine == "brute":
+            return _BRUTE_ENVELOPE
+        if engine not in ORACLE_ENGINES:
+            return None
+        name = canonical_name(semantics)
+        override = ENVELOPE_OVERRIDES.get((name, task, regime))
+        if override is not None:
+            return override
+        claim = Certifier.claim_for(name, task, regime)
+        return _ORACLE_DEFAULTS[claim.upper]
+
+    # -- checking ------------------------------------------------------
+    def check(
+        self,
+        semantics: str,
+        task: Task,
+        db,
+        observation: OracleObservation,
+        engine: str,
+        span=None,
+    ) -> ComplexityCertificate:
+        """Score one query's observation against its table cell."""
+        regime = self.classify(db)
+        name = canonical_name(semantics)
+        claim = self.claim_for(name, task, regime)
+        envelope = self.envelope_for(name, task, regime, engine)
+        atoms = len(db.vocabulary)
+        certificate = ComplexityCertificate(
+            semantics=name,
+            task=task,
+            regime=regime,
+            engine=engine,
+            claim=claim,
+            envelope=envelope,
+            observation=observation,
+            atoms=atoms,
+            certified=envelope is not None,
+        )
+        if envelope is None:
+            return certificate
+        checks = (
+            ("np_calls", observation.np_calls, envelope.np_calls),
+            (
+                "sigma2_dispatches",
+                observation.sigma2_dispatches,
+                envelope.sigma2_dispatches,
+            ),
+            ("nodes", observation.nodes, envelope.nodes),
+        )
+        for metric, observed, bound in checks:
+            limit = bound.limit(atoms)
+            if observed > limit:
+                certificate.violations.append(
+                    CertificateViolation(metric, observed, limit)
+                )
+        if observation.max_sigma2_depth > envelope.max_sigma2_depth:
+            certificate.violations.append(
+                CertificateViolation(
+                    "max_sigma2_depth",
+                    observation.max_sigma2_depth,
+                    envelope.max_sigma2_depth,
+                )
+            )
+        self.checked += 1
+        CERTIFICATES.inc()
+        if certificate.violations:
+            self.violated.append(certificate)
+            VIOLATIONS.labels(semantics=name, task=task.name).inc()
+            if span is not None:
+                for violation in certificate.violations:
+                    span.add_event(
+                        "CertificateViolation",
+                        metric=violation.metric,
+                        observed=violation.observed,
+                        limit=violation.limit,
+                        claim=claim.render(),
+                    )
+            if self.strict:
+                raise CertificationError(certificate)
+        return certificate
+
+
+#: The default (non-strict, production-mode) certifier.
+DEFAULT_CERTIFIER = Certifier(strict=False)

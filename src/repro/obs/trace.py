@@ -1,0 +1,285 @@
+"""Hierarchical spans: query → semantics → engine → oracle → SAT scope.
+
+A :class:`Tracer` hands out :class:`Span` context managers; spans nest
+via a :class:`~contextvars.ContextVar`, so a span opened inside another
+becomes its child without any explicit parent plumbing.  Finished root
+spans are kept in a bounded buffer and can be exported two ways:
+
+* :meth:`Tracer.export_jsonl` — one JSON object per root span, children
+  inlined (machine-readable; the ``repro-ddb trace --jsonl`` output);
+* :meth:`Tracer.render_tree` — a human-readable indented tree with
+  durations and attributes (the default ``repro-ddb trace`` output).
+
+Tracing is **off by default**: the module-level active tracer starts as
+a :class:`NoopTracer`, whose :meth:`~NoopTracer.span` returns one
+pre-built singleton — the disabled hot path allocates nothing.  Both
+no-op classes keep class-level construction counters precisely so the
+test suite can *prove* that (``tests/test_obs.py`` guards the zero with
+a counter, not a timing).  Instrumentation sites additionally check
+``tracer.is_noop`` and skip attribute preparation entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Deque, Dict, List, Optional
+
+
+class Span:
+    """One timed, attributed node of a trace tree."""
+
+    __slots__ = (
+        "name", "attributes", "events", "children", "start", "end",
+        "_tracer", "_token",
+    )
+
+    #: Class-level construction counter (allocation accounting in tests).
+    created = 0
+
+    is_noop = False
+
+    def __init__(self, name: str, tracer: "Tracer", **attributes: Any):
+        Span.created += 1
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes)
+        self.events: List[Dict[str, Any]] = []
+        self.children: List["Span"] = []
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self._tracer = tracer
+        self._token = None
+
+    # -- recording -----------------------------------------------------
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: Any) -> None:
+        self.attributes.update(attributes)
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        self.events.append(
+            {
+                "name": name,
+                "at_ms": (time.perf_counter() - self.start) * 1000.0,
+                **attributes,
+            }
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._token = self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.add_event("error", type=exc_type.__name__, message=str(exc))
+        self._tracer._pop(self, self._token)
+        self._token = None
+
+    # -- export --------------------------------------------------------
+    @property
+    def duration_ms(self) -> float:
+        stop = self.end if self.end is not None else time.perf_counter()
+        return (stop - self.start) * 1000.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        node: Dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 3),
+        }
+        if self.attributes:
+            node["attributes"] = dict(self.attributes)
+        if self.events:
+            node["events"] = [dict(event) for event in self.events]
+        if self.children:
+            node["children"] = [child.as_dict() for child in self.children]
+        return node
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(self.attributes.items())
+        )
+        line = f"{pad}{self.name}  [{self.duration_ms:.2f} ms]"
+        if attrs:
+            line += f"  {attrs}"
+        lines = [line]
+        for event in self.events:
+            extras = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(event.items())
+                if key not in ("name", "at_ms")
+            )
+            event_line = (
+                f"{pad}  ! {event['name']} @{event['at_ms']:.2f}ms"
+            )
+            if extras:
+                event_line += f" {extras}"
+            lines.append(event_line)
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, children={len(self.children)})"
+
+
+class NoopSpan:
+    """The do-nothing span; every method is inert, and the tracer hands
+    out one shared instance so the disabled path never allocates."""
+
+    __slots__ = ()
+
+    #: Class-level construction counter — must stay at 1 (the singleton).
+    instances = 0
+
+    is_noop = True
+
+    def __new__(cls) -> "NoopSpan":
+        cls.instances += 1
+        return super().__new__(cls)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attributes(self, **attributes: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: ``span()`` returns the singleton, nothing is
+    recorded, nothing is retained."""
+
+    __slots__ = ()
+
+    is_noop = True
+
+    def span(self, name: str, **attributes: Any) -> NoopSpan:
+        return _NOOP_SPAN
+
+    def current(self) -> NoopSpan:
+        return _NOOP_SPAN
+
+    def finished_roots(self) -> List[Span]:
+        return []
+
+    def export_jsonl(self) -> str:
+        return ""
+
+    def render_tree(self) -> str:
+        return ""
+
+
+class Tracer:
+    """The recording tracer.
+
+    Spans opened while another span of the *same context* is live become
+    its children; spans opened at top level become roots and, once
+    closed, land in a bounded ``finished_roots`` buffer.
+    """
+
+    is_noop = False
+
+    def __init__(self, max_finished: int = 256):
+        self._current: ContextVar[Optional[Span]] = ContextVar(
+            f"repro_trace_{id(self):x}", default=None
+        )
+        self._finished: Deque[Span] = deque(maxlen=max_finished)
+        self._lock = threading.Lock()
+
+    # -- span plumbing (driven by Span.__enter__/__exit__) -------------
+    def span(self, name: str, **attributes: Any) -> Span:
+        return Span(name, self, **attributes)
+
+    def current(self) -> Optional[Span]:
+        return self._current.get()
+
+    def _push(self, span: Span):
+        parent = self._current.get()
+        if parent is not None:
+            with self._lock:
+                parent.children.append(span)
+        return self._current.set(span)
+
+    def _pop(self, span: Span, token) -> None:
+        if token is not None:
+            self._current.reset(token)
+        if self._current.get() is None:
+            with self._lock:
+                self._finished.append(span)
+
+    # -- export --------------------------------------------------------
+    def finished_roots(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def export_jsonl(self) -> str:
+        """One newline-terminated JSON object per finished root span."""
+        return "".join(
+            json.dumps(root.as_dict(), sort_keys=True) + "\n"
+            for root in self.finished_roots()
+        )
+
+    def render_tree(self) -> str:
+        """All finished roots as an indented human-readable tree."""
+        return "\n".join(root.render() for root in self.finished_roots())
+
+
+#: The module-level active tracer.  Deliberately *not* a ContextVar:
+#: instrumentation sites in worker threads must see an enablement flip
+#: made by the main thread.
+_active: "NoopTracer | Tracer" = NoopTracer()
+
+
+def active_tracer() -> "NoopTracer | Tracer":
+    """The tracer instrumentation sites should consult."""
+    return _active
+
+
+def set_tracer(tracer: "NoopTracer | Tracer") -> "NoopTracer | Tracer":
+    """Install ``tracer`` as the active one; returns the previous one."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+def use_tracer(tracer: "NoopTracer | Tracer"):
+    """Context manager: install ``tracer`` for the duration of a block."""
+    return _UseTracer(tracer)
+
+
+class _UseTracer:
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer):
+        self._tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_tracer(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb):
+        set_tracer(self._previous)

@@ -32,6 +32,7 @@ from .budget import (
     note_nodes,
     note_sat_call,
 )
+from ..obs.accounting import note_np_call
 from .faults import (
     FaultInjected,
     FaultPlan,
@@ -45,9 +46,12 @@ from .outcome import Outcome, Status
 
 
 def observe_sat_call() -> None:
-    """The SAT layer's single per-``solve`` hook: tick the active budget
+    """The SAT layer's single per-``solve`` hook: record the NP-oracle
+    invocation in the observability accounting (never raises — it must
+    run even for the call that trips a budget), tick the active budget
     scope (may raise :class:`BudgetExceeded`), then apply the active
     fault plan (may sleep or raise :class:`FaultInjected`)."""
+    note_np_call()
     note_sat_call()
     maybe_fault_sat_call()
 

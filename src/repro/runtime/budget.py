@@ -32,6 +32,8 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, Optional
 
 from ..errors import BudgetExceededError
+from ..obs.accounting import note_nodes as _account_nodes
+from ..obs.metrics import METRICS
 
 #: How many nodes are ticked between wall-clock checks inside node loops
 #: (a node is far cheaper than a SAT call, so the clock is read less often).
@@ -136,38 +138,67 @@ class BudgetExceeded(BudgetExceededError):
         )
 
 
-@dataclass
-class RuntimeStats:
-    """Process-wide counters for the resource-governance layer."""
+#: The runtime counter names, in ``snapshot()`` order.  Each is backed
+#: by a ``repro_runtime_<name>_total`` counter in the metrics registry.
+_RUNTIME_FIELDS = (
+    "scopes_entered",
+    "budgets_exceeded",
+    "sat_faults_injected",
+    "latency_injections",
+    "worker_crashes_injected",
+    "worker_crashes_recovered",
+    "retries",
+    "fallbacks",
+    "timeouts",
+)
 
-    scopes_entered: int = 0
-    budgets_exceeded: int = 0
-    sat_faults_injected: int = 0
-    latency_injections: int = 0
-    worker_crashes_injected: int = 0
-    worker_crashes_recovered: int = 0
-    retries: int = 0
-    fallbacks: int = 0
-    timeouts: int = 0
+
+class RuntimeStats:
+    """Process-wide counters for the resource-governance layer.
+
+    Each counter lives in the :data:`~repro.obs.metrics.METRICS`
+    registry as ``repro_runtime_<name>_total`` (so it shows up in the
+    Prometheus exposition alongside the oracle-accounting counters),
+    while attribute access keeps the historical mutable-dataclass API:
+    ``RUNTIME_STATS.retries += 1`` still works at every call site.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self) -> None:
+        counters = {
+            name: METRICS.counter(
+                f"repro_runtime_{name}_total",
+                f"Runtime governance counter: {name.replace('_', ' ')}",
+            )
+            for name in _RUNTIME_FIELDS
+        }
+        object.__setattr__(self, "_counters", counters)
+
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        try:
+            return counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: int) -> None:
+        counters = object.__getattribute__(self, "_counters")
+        try:
+            counters[name].set(value)
+        except KeyError:
+            raise AttributeError(name) from None
 
     def snapshot(self) -> Dict[str, int]:
         """The counters as a flat dict (``SatSolver.stats()`` style)."""
-        return {
-            "scopes_entered": self.scopes_entered,
-            "budgets_exceeded": self.budgets_exceeded,
-            "sat_faults_injected": self.sat_faults_injected,
-            "latency_injections": self.latency_injections,
-            "worker_crashes_injected": self.worker_crashes_injected,
-            "worker_crashes_recovered": self.worker_crashes_recovered,
-            "retries": self.retries,
-            "fallbacks": self.fallbacks,
-            "timeouts": self.timeouts,
-        }
+        counters = object.__getattribute__(self, "_counters")
+        return {name: counters[name].value for name in _RUNTIME_FIELDS}
 
     def reset(self) -> None:
         """Zero every counter (test isolation)."""
-        for name in self.snapshot():
-            setattr(self, name, 0)
+        counters = object.__getattribute__(self, "_counters")
+        for counter in counters.values():
+            counter.reset()
 
 
 #: The process-wide runtime counters.
@@ -331,7 +362,10 @@ def note_sat_call() -> None:
 
 
 def note_nodes(count: int = 1) -> None:
-    """Tick enumeration/search nodes against the active scope."""
+    """Tick enumeration/search nodes: always recorded in the oracle
+    accounting (the certifier's node envelope needs them even when no
+    budget is in force), then charged to the active scope, if any."""
+    _account_nodes(count)
     scope = _ACTIVE.get()
     if scope is not None:
         scope.note_nodes(count)

@@ -50,6 +50,7 @@ import threading
 import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import (
     Any,
     Callable,
@@ -68,6 +69,7 @@ from ..logic.cnf import Cnf, tseitin
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula
 from ..logic.interpretation import Interpretation
+from ..obs.metrics import METRICS
 from .solver import SatSolver
 
 #: Default bound on pooled (parked) solvers across all keys.
@@ -291,6 +293,9 @@ class IncrementalSatSolver:
         self.scopes_retired = 0
         self.clauses_reclaimed = 0
         self.queries = 0
+        #: Stamp of the checkout window this solver was last handed out
+        #: under (see :func:`checkout_token`); ``None`` outside windows.
+        self._last_checkout_token: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property
@@ -392,6 +397,36 @@ class IncrementalSatSolver:
 # ----------------------------------------------------------------------
 # The process-wide pool
 # ----------------------------------------------------------------------
+#: The active checkout window of this context, or ``None``.  See
+#: :func:`checkout_token`.
+_CHECKOUT_TOKEN: "ContextVar[Optional[object]]" = ContextVar(
+    "repro_pool_checkout_token", default=None
+)
+
+
+@contextmanager
+def checkout_token() -> Iterator[object]:
+    """Mark a window whose re-checkouts of the *same solver* are one
+    logical use.
+
+    The resilient engine retries a failed attempt against the same
+    database, so the retry checks the very solver the first attempt just
+    released back out of the pool.  Counting that as a fresh "reuse"
+    double-counts warm starts in ``session.stats()`` (the retry earned
+    nothing — the warmth came from the attempt the caller already paid
+    for).  Inside a window, a repeat checkout of a solver stamped with
+    the current token increments ``repeat_checkouts`` instead of
+    ``reused``.  With no window active (every non-resilient path),
+    behavior is exactly as before.
+    """
+    token = object()
+    reset = _CHECKOUT_TOKEN.set(token)
+    try:
+        yield token
+    finally:
+        _CHECKOUT_TOKEN.reset(reset)
+
+
 class SolverPool:
     """A bounded pool of warm :class:`IncrementalSatSolver` instances.
 
@@ -421,6 +456,7 @@ class SolverPool:
         )
         self.created = 0
         self.reused = 0
+        self.repeat_checkouts = 0
         self.released = 0
         self.discarded = 0
         self.evictions = 0
@@ -432,15 +468,29 @@ class SolverPool:
         key: Hashable,
         builder: Callable[[], IncrementalSatSolver],
     ) -> IncrementalSatSolver:
-        """A warm solver for ``key`` (checked out), or a fresh one."""
+        """A warm solver for ``key`` (checked out), or a fresh one.
+
+        A repeat checkout of the same solver inside one
+        :func:`checkout_token` window (a resilient retry) is counted as
+        ``repeat_checkouts``, not as a reuse.
+        """
+        token = _CHECKOUT_TOKEN.get()
         with self._lock:
             solver = self._entries.pop(key, None)
             if solver is not None:
-                self.reused += 1
-                self.clauses_retained += solver.num_learned()
+                if (
+                    token is not None
+                    and solver._last_checkout_token is token
+                ):
+                    self.repeat_checkouts += 1
+                else:
+                    self.reused += 1
+                    self.clauses_retained += solver.num_learned()
+                solver._last_checkout_token = token
                 return solver
             self.created += 1
         solver = builder()
+        solver._last_checkout_token = token
         with self._lock:
             self._tracked.add(solver)
         return solver
@@ -476,6 +526,7 @@ class SolverPool:
             self._tracked = weakref.WeakSet()
             self.created = 0
             self.reused = 0
+            self.repeat_checkouts = 0
             self.released = 0
             self.discarded = 0
             self.evictions = 0
@@ -505,6 +556,7 @@ class SolverPool:
                 "pool_maxsize": self.maxsize,
                 "solvers_created": self.created,
                 "solver_reuses": self.reused,
+                "solver_repeat_checkouts": self.repeat_checkouts,
                 "solver_releases": self.released,
                 "solvers_discarded": self.discarded,
                 "solver_evictions": self.evictions,
@@ -546,6 +598,19 @@ SOLVER_POOL = SolverPool()
 def solver_pool_stats() -> Dict[str, Any]:
     """Statistics of the process-wide solver pool."""
     return SOLVER_POOL.stats()
+
+
+def _pool_metrics() -> Dict[str, float]:
+    return {
+        f"repro_pool_{name}": float(value)
+        for name, value in SOLVER_POOL.stats().items()
+        if isinstance(value, (int, float))
+    }
+
+
+# Pull-style exposition: the pool keeps its own counters under its own
+# lock; the registry polls them at expose()/snapshot() time.
+METRICS.register_collector("solver_pool", _pool_metrics)
 
 
 def clear_solver_pool() -> None:

@@ -45,6 +45,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import SolverError
 from ..logic.atoms import Literal
+from ..obs.accounting import counts_as_sigma2_dispatch
 from ..runtime.budget import check_deadline
 from ..logic.cnf import Cnf
 from ..logic.database import DisjunctiveDatabase
@@ -290,6 +291,7 @@ class MinimalModelSolver(_PooledSolverMixin):
     # ------------------------------------------------------------------
     # The Σ₂ᵖ primitive: ∃ minimal model satisfying a side condition
     # ------------------------------------------------------------------
+    @counts_as_sigma2_dispatch
     def find_minimal_satisfying(
         self, condition: Formula, max_candidates: Optional[int] = None
     ) -> Optional[Interpretation]:
@@ -434,6 +436,7 @@ class PZMinimalModelSolver(_PooledSolverMixin):
                 return current
             current = below
 
+    @counts_as_sigma2_dispatch
     def find_minimal_satisfying(
         self, condition: Formula, max_candidates: Optional[int] = None
     ) -> Optional[Interpretation]:
@@ -657,6 +660,7 @@ class PrioritizedMinimalModelSolver(_PooledSolverMixin):
                 return current
             current = below
 
+    @counts_as_sigma2_dispatch
     def find_minimal_satisfying(
         self, condition: Formula, max_candidates: Optional[int] = None
     ) -> Optional[Interpretation]:

@@ -35,6 +35,8 @@ the module-level helpers :func:`infer` / :func:`infers_literal` /
 
 from __future__ import annotations
 
+import contextlib
+import functools
 from abc import ABC, abstractmethod
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Type, Union
 
@@ -43,6 +45,9 @@ from ..logic.atoms import Literal
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not, Var
 from ..logic.interpretation import Interpretation
+from ..obs import trace as _trace
+from ..obs.accounting import observe as _observe
+from ..obs.metrics import METRICS
 
 #: Valid engine names accepted by :func:`get_semantics`.
 ENGINES = ("oracle", "fresh", "brute", "cached", "resilient")
@@ -51,6 +56,98 @@ ENGINES = ("oracle", "fresh", "brute", "cached", "resilient")
 #: "resilient" are wrappers realized by :mod:`repro.engine`).  "fresh"
 #: runs the oracle decision procedures with pooling disabled.
 CONCRETE_ENGINES = ("oracle", "fresh", "brute")
+
+
+#: The shared entry points every semantics class exposes; these are the
+#: observability seams — wrapping them instruments all semantics modules
+#: (and the engine wrappers, which subclass :class:`Semantics`) at once.
+ENTRY_POINTS = (
+    "model_set", "infers", "infers_literal", "infers_brave", "has_model",
+)
+
+_ENTRY_CALLS = METRICS.counter(
+    "repro_semantics_calls_total",
+    "Semantics entry-point invocations",
+    labelnames=("method",),
+)
+
+
+def _instrumented(method: str, fn):
+    """Wrap one entry point with metrics + (when enabled) a span.
+
+    The disabled path is deliberately thin: one pre-bound counter
+    increment and an ``is_noop`` check, then straight into ``fn`` — no
+    span objects, no attribute dicts, no observation windows.
+    """
+    counter = _ENTRY_CALLS.labels(method=method)
+
+    @functools.wraps(fn)
+    def wrapper(self, db, *args, **kwargs):
+        counter.inc()
+        tracer = _trace.active_tracer()
+        if tracer.is_noop:
+            return fn(self, db, *args, **kwargs)
+        with tracer.span(
+            f"semantics.{method}",
+            semantics=self.name,
+            engine=self.engine,
+            atoms=len(db.vocabulary),
+        ) as span:
+            with _observe() as window:
+                result = fn(self, db, *args, **kwargs)
+            span.set_attributes(
+                sat_calls=window.np_calls,
+                sigma2_dispatches=window.sigma2_dispatches,
+                nodes=window.nodes,
+                max_sigma2_depth=window.max_sigma2_depth,
+            )
+            return result
+
+    wrapper._obs_wrapped = True
+    return wrapper
+
+
+def _instrument_class(cls) -> None:
+    """Wrap the entry points a class defines in its own ``__dict__``."""
+    for method in ENTRY_POINTS:
+        fn = cls.__dict__.get(method)
+        if (
+            fn is None
+            or getattr(fn, "_obs_wrapped", False)
+            or getattr(fn, "__isabstractmethod__", False)
+        ):
+            continue
+        setattr(cls, method, _instrumented(method, fn))
+
+
+@contextlib.contextmanager
+def uninstrumented():
+    """Swap every instrumented entry point back to its original.
+
+    Exists solely for A/B overhead measurement (``bench_runner.py
+    --overhead-check``): the instrumented-but-disabled path is compared
+    against the genuinely bare methods.  Restores the wrappers on exit;
+    not thread-safe, never use while queries run concurrently.
+    """
+    patched = []
+    stack: list = [Semantics]
+    seen = set()
+    while stack:
+        cls = stack.pop()
+        if cls in seen:
+            continue
+        seen.add(cls)
+        stack.extend(cls.__subclasses__())
+        for method in ENTRY_POINTS:
+            fn = cls.__dict__.get(method)
+            if fn is not None and getattr(fn, "_obs_wrapped", False):
+                patched.append((cls, method, fn))
+                setattr(cls, method, fn.__wrapped__)
+    try:
+        yield
+    finally:
+        for cls, method, fn in patched:
+            setattr(cls, method, fn)
 
 
 def literal_formula(literal: Literal) -> Formula:
@@ -87,6 +184,10 @@ class Semantics(ABC):
     aliases: Tuple[str, ...] = ()
     #: Human-readable description for reports.
     description: str = ""
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        _instrument_class(cls)
 
     def __init__(self, engine: str = "oracle"):
         if engine in ("cached", "resilient"):
@@ -177,6 +278,11 @@ class Semantics(ABC):
     # ------------------------------------------------------------------
     def __repr__(self) -> str:
         return f"{type(self).__name__}(engine={self.engine!r})"
+
+
+# The base class itself defines the default implementations of several
+# entry points (subclasses only re-wrap the ones they override).
+_instrument_class(Semantics)
 
 
 #: The registry of semantics classes by canonical name.

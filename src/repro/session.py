@@ -20,6 +20,14 @@ from typing import Dict, FrozenSet, Optional, Union
 
 from .complexity.oracles import count_sat_calls
 from .errors import ReproError
+from .obs import trace as _trace
+from .obs.accounting import OracleObservation, observe
+from .obs.certify import (
+    DEFAULT_CERTIFIER,
+    Certifier,
+    ComplexityCertificate,
+    TASK_FOR_METHOD,
+)
 from .sat.incremental import SOLVER_POOL, solver_pool_stats
 from .logic.atoms import Literal
 from .logic.database import DisjunctiveDatabase
@@ -50,6 +58,11 @@ class Answer:
             solvers outlive queries, so their raw counters are lifetime
             totals; the session snapshots them around each query and
             reports only what this query spent.
+        observation: the oracle work this query was observed doing
+            (NP calls, Σ₂ᵖ dispatches, nodes, dispatch depth).
+        complexity: the Table 1/Table 2 complexity certificate for this
+            query — the observation scored against the claimed class
+            (``None`` for queries outside the tables, e.g. brave mode).
     """
 
     verdict: bool
@@ -58,6 +71,8 @@ class Answer:
     sat_calls: int = 0
     certificate: Optional[CounterModelCertificate] = None
     solver_stats: Optional[Dict[str, int]] = None
+    observation: Optional[OracleObservation] = None
+    complexity: Optional[ComplexityCertificate] = None
 
     def __bool__(self) -> bool:
         return self.verdict
@@ -69,6 +84,8 @@ class Answer:
         )
         if self.certificate is not None:
             text += f"\n  counter-model: {self.certificate.model}"
+        if self.complexity is not None and not self.complexity.ok:
+            text += f"\n  complexity: {self.complexity.render()}"
         return text
 
 
@@ -90,6 +107,13 @@ class DatabaseSession:
             engines, where nothing would enforce it.
         certificates: attach counter-model certificates to negative
             cautious answers (costs one extra witness search).
+        certifier: the complexity certifier scoring every query against
+            its Table 1/Table 2 cell (pass a strict
+            :class:`~repro.obs.certify.Certifier` to raise on violation,
+            or ``None`` to disable certification).  Defaults to the
+            process-wide non-strict
+            :data:`~repro.obs.certify.DEFAULT_CERTIFIER`, which records
+            violations as span events and metrics without raising.
     """
 
     def __init__(
@@ -99,6 +123,7 @@ class DatabaseSession:
         engine: str = "oracle",
         budget: Optional[Budget] = None,
         certificates: bool = True,
+        certifier: Optional[Certifier] = DEFAULT_CERTIFIER,
     ):
         if budget is not None and engine != "resilient":
             raise ReproError(
@@ -110,9 +135,12 @@ class DatabaseSession:
         self.engine = engine
         self.budget = budget
         self.certificates = certificates
+        self.certifier = certifier
         self._semantics_cache: Dict[str, Semantics] = {}
         self.total_sat_calls = 0
         self.queries_answered = 0
+        self.certificates_checked = 0
+        self.certificate_violations = 0
         self.solver_stat_totals: Dict[str, int] = {}
 
     @staticmethod
@@ -147,6 +175,32 @@ class DatabaseSession:
             return parse_formula(query)
         return query
 
+    def _certify(
+        self,
+        engine: Semantics,
+        method: str,
+        window: OracleObservation,
+        span,
+    ) -> Optional[ComplexityCertificate]:
+        """Score one query observation against its Table 1/2 cell.
+
+        Returns ``None`` when certification is disabled or the entry
+        point has no table cell; a strict certifier raises
+        :class:`~repro.obs.certify.CertificationError` on violation.
+        """
+        if self.certifier is None:
+            return None
+        task = TASK_FOR_METHOD.get(method)
+        if task is None:
+            return None
+        certificate = self.certifier.check(
+            engine.name, task, self.db, window, self.engine, span=span,
+        )
+        self.certificates_checked += 1
+        if not certificate.ok:
+            self.certificate_violations += 1
+        return certificate
+
     # ------------------------------------------------------------------
     def ask(
         self,
@@ -165,13 +219,26 @@ class DatabaseSession:
         engine = self._semantics(semantics)
         formula = self._parse(query)
         solver_before = SOLVER_POOL.core_stats()
-        with count_sat_calls() as counter:
-            if mode == "cautious":
-                verdict = engine.infers(self.db, formula)
-            elif mode == "brave":
-                verdict = engine.infers_brave(self.db, formula)
-            else:
-                raise ValueError(f"unknown mode {mode!r}")
+        with _trace.active_tracer().span(
+            "query.ask",
+            semantics=engine.name,
+            engine=self.engine,
+            mode=mode,
+            query=str(formula),
+        ) as span:
+            with observe() as window, count_sat_calls() as counter:
+                if mode == "cautious":
+                    verdict = engine.infers(self.db, formula)
+                elif mode == "brave":
+                    verdict = engine.infers_brave(self.db, formula)
+                else:
+                    raise ValueError(f"unknown mode {mode!r}")
+            complexity = (
+                self._certify(engine, "infers", window, span)
+                if mode == "cautious"
+                else None
+            )
+            span.set_attributes(verdict=verdict, sat_calls=counter.calls)
         solver_delta = self._solver_delta(
             solver_before, SOLVER_POOL.core_stats()
         )
@@ -182,6 +249,9 @@ class DatabaseSession:
             and self.certificates
             and self.engine in ("oracle", "cached", "resilient")
         ):
+            # The witness search stays OUTSIDE the certified observation
+            # window: it is explanatory extra work, not part of the
+            # decision procedure the table cell bounds.
             try:
                 certificate = explain_non_inference(
                     self.db, formula, engine.name
@@ -198,6 +268,8 @@ class DatabaseSession:
             sat_calls=counter.calls,
             certificate=certificate,
             solver_stats=solver_delta,
+            observation=window,
+            complexity=complexity,
         )
 
     def ask_literal(
@@ -210,8 +282,18 @@ class DatabaseSession:
         if isinstance(literal, str):
             literal = Literal.parse(literal)
         solver_before = SOLVER_POOL.core_stats()
-        with count_sat_calls() as counter:
-            verdict = engine.infers_literal(self.db, literal)
+        with _trace.active_tracer().span(
+            "query.ask_literal",
+            semantics=engine.name,
+            engine=self.engine,
+            literal=str(literal),
+        ) as span:
+            with observe() as window, count_sat_calls() as counter:
+                verdict = engine.infers_literal(self.db, literal)
+            complexity = self._certify(
+                engine, "infers_literal", window, span
+            )
+            span.set_attributes(verdict=verdict, sat_calls=counter.calls)
         solver_delta = self._solver_delta(
             solver_before, SOLVER_POOL.core_stats()
         )
@@ -226,6 +308,8 @@ class DatabaseSession:
             query=literal_formula(literal),
             sat_calls=counter.calls,
             solver_stats=solver_delta,
+            observation=window,
+            complexity=complexity,
         )
 
     def models(self, semantics: Optional[str] = None) -> FrozenSet:
@@ -234,7 +318,17 @@ class DatabaseSession:
 
     def has_model(self, semantics: Optional[str] = None) -> bool:
         """Model existence (the paper's third column)."""
-        return self._semantics(semantics).has_model(self.db)
+        engine = self._semantics(semantics)
+        with _trace.active_tracer().span(
+            "query.has_model",
+            semantics=engine.name,
+            engine=self.engine,
+        ) as span:
+            with observe() as window:
+                verdict = engine.has_model(self.db)
+            self._certify(engine, "has_model", window, span)
+            span.set_attribute("verdict", verdict)
+        return verdict
 
     def extended(self, clauses) -> "DatabaseSession":
         """A new session over the database extended with ``clauses``
@@ -259,6 +353,8 @@ class DatabaseSession:
             "queries_answered": self.queries_answered,
             "total_sat_calls": self.total_sat_calls,
             "semantics_cached": len(self._semantics_cache),
+            "certificates_checked": self.certificates_checked,
+            "certificate_violations": self.certificate_violations,
         }
         stats.update(RUNTIME_STATS.snapshot())
         stats.update(solver_pool_stats())

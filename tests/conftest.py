@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -20,7 +21,16 @@ settings.register_profile(
     max_examples=25,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+# CI profile: derandomized (a red build must mean a regression, not a
+# lucky draw) with a smaller example budget.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=15,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 #: Small atom pool used by random strategies.
 ATOMS = ["a", "b", "c", "d", "e"]

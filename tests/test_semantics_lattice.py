@@ -20,17 +20,20 @@ databases.
 """
 
 from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.logic.parser import parse_formula
 from repro.models.enumeration import all_models
 from repro.semantics import get_semantics
+from repro.workloads import random_query_formula
 
-from conftest import positive_databases
+from conftest import ATOMS, positive_databases
 
-QUERIES = [
-    parse_formula(text)
-    for text in ("~a | ~b", "a | b", "a -> c", "~c", "b & ~a")
-]
+#: Generated query formulas (previously a hand-picked five-formula
+#: list): a seed-indexed view of the deterministic workload generator,
+#: so failures shrink to a reproducible seed.
+queries = st.integers(min_value=0, max_value=10**6).map(
+    lambda seed: random_query_formula(ATOMS, depth=2, seed=seed)
+)
 
 
 def _models(db, name):
@@ -48,8 +51,8 @@ def test_model_set_inclusions(db):
     assert egcwa <= pws <= ddr
 
 
-@given(positive_databases(max_clauses=4))
-def test_inference_strength_ordering(db):
+@given(positive_databases(max_clauses=4), queries)
+def test_inference_strength_ordering(db, query):
     """Smaller model sets infer more: every DDR consequence is a GCWA
     consequence, every GCWA consequence an EGCWA consequence."""
     from repro.sat.solver import entails_classically
@@ -58,17 +61,15 @@ def test_inference_strength_ordering(db):
     gcwa = get_semantics("gcwa")
     pws = get_semantics("pws")
     egcwa = get_semantics("egcwa")
-    for query in QUERIES:
-        if entails_classically(db, query):
-            assert ddr.infers(db, query)
-        if ddr.infers(db, query):
-            assert gcwa.infers(db, query)
-        if gcwa.infers(db, query):
-            assert egcwa.infers(db, query)
-        if pws.infers(db, query):
-            assert egcwa.infers(db, query)
-        if ddr.infers(db, query):
-            assert pws.infers(db, query)
+    if entails_classically(db, query):
+        assert ddr.infers(db, query)
+    if ddr.infers(db, query):
+        assert gcwa.infers(db, query)
+        assert pws.infers(db, query)
+    if gcwa.infers(db, query):
+        assert egcwa.infers(db, query)
+    if pws.infers(db, query):
+        assert egcwa.infers(db, query)
 
 
 def test_gcwa_and_pws_are_incomparable():
@@ -114,14 +115,13 @@ def test_total_pdsm_also_coincides_on_positive(db):
     assert pdsm_total == reference
 
 
-@given(positive_databases(max_clauses=4))
-def test_brave_cautious_duality(db):
+@given(positive_databases(max_clauses=4), queries)
+def test_brave_cautious_duality(db, query):
     """Cautious inference of F fails iff brave inference of ¬F succeeds
     (whenever the selected model set is nonempty)."""
     from repro.logic.formula import Not
 
     egcwa = get_semantics("egcwa")
-    for query in QUERIES[:3]:
-        cautious = egcwa.infers(db, query)
-        brave_negation = egcwa.infers_brave(db, Not(query))
-        assert cautious == (not brave_negation)
+    cautious = egcwa.infers(db, query)
+    brave_negation = egcwa.infers_brave(db, Not(query))
+    assert cautious == (not brave_negation)

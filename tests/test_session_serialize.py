@@ -71,6 +71,8 @@ class TestSession:
         assert stats["queries_answered"] == 2
         assert stats["semantics_cached"] == 2
         assert stats["total_sat_calls"] >= 2
+        assert stats["certificates_checked"] == 2
+        assert stats["certificate_violations"] == 0
 
     def test_extended_session_is_new(self, simple_db):
         from repro.logic.clause import Clause
