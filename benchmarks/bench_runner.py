@@ -21,6 +21,13 @@ the README table consume the same numbers::
 
 ``--check-reuse`` exits nonzero when the pooled runs show a solver-reuse
 rate of zero (the regression the gate exists to catch).
+
+``--fragments`` instead measures the fragment planner (PR 5): Horn-heavy,
+head-cycle-free and stratified corpora run through ``engine="planned"``
+vs the default oracle engine, recording wall-ms, SAT calls, NP-oracle
+calls and Σ₂ᵖ dispatches per engine into ``BENCH_pr5.json``.
+``--check-fragments`` additionally gates on the acceptance criteria
+(Horn fast path: zero NP calls and >= 5x wall-clock speedup).
 """
 
 from __future__ import annotations
@@ -52,10 +59,12 @@ from repro.sat.incremental import (  # noqa: E402
 from repro.sat.minimal import MinimalModelSolver  # noqa: E402
 from repro.semantics import get_semantics  # noqa: E402
 from repro.workloads.families import (  # noqa: E402
+    chain,
     disjoint_components,
     disjunctive_chain,
     exclusive_pairs,
     pigeonhole_cnf_db,
+    stratified_tower,
 )
 
 
@@ -164,6 +173,159 @@ def run_repeated_suite(name, make_db, runner, repeat, attempts=3) -> Dict:
     pooled_ms = record["pooled"]["wall_ms"]
     record["speedup"] = round(fresh_ms / pooled_ms, 3) if pooled_ms else None
     return record
+
+
+# ----------------------------------------------------------------------
+# Fragment planner: planned vs default engines (PR 5)
+# ----------------------------------------------------------------------
+def _suite_fragment_queries(db, names, queries, repeat, engine) -> List:
+    """Literal closure over the whole vocabulary plus formula queries
+    plus model existence, per semantics — the workload the planner's
+    fast paths are meant to collapse."""
+    answers = []
+    for _ in range(repeat):
+        for name in names:
+            semantics = get_semantics(name, engine=engine)
+            for atom in sorted(db.vocabulary):
+                answers.append(semantics.infers_literal(db, "~" + atom))
+            for query in queries:
+                answers.append(semantics.infers(db, parse_formula(query)))
+            answers.append(semantics.has_model(db))
+    return answers
+
+
+FRAGMENT_SUITES = [
+    # (name, database factory, semantics, formula queries)
+    (
+        "horn-chain",
+        lambda: chain(14),
+        ("gcwa", "egcwa", "dsm"),
+        ["a14", "a1 & a7", "~a1 | a14"],
+    ),
+    (
+        "hcf-disjunctive-chain",
+        lambda: disjunctive_chain(6),
+        ("egcwa", "gcwa"),
+        ["a6 | b6", "a1 & b1", "a3 | b3"],
+    ),
+    # No fast path exists for general stratified databases: the planner
+    # must fall back, and this row documents the (expected) parity.
+    (
+        "stratified-tower",
+        lambda: stratified_tower(4, 2),
+        ("icwa", "perf"),
+        ["l1_1 | l1_2", "l4_1 | l4_2"],
+    ),
+]
+
+
+def run_fragment_suite(
+    name, make_db, names, queries, repeat, attempts=3
+) -> Dict:
+    from repro.analysis import fragment_profile
+    from repro.obs.accounting import observe
+
+    db = make_db()
+    record: Dict = {
+        "workload": name,
+        "fragment": fragment_profile(db).fragment,
+        "atoms": len(db.vocabulary),
+        "semantics": list(names),
+        "repeat": repeat,
+    }
+    answers: Dict[str, List] = {}
+    for engine in ("planned", "oracle"):
+        wall_ms = None
+        for _ in range(attempts):
+            # Cold start each attempt: the planner pays for its own
+            # fragment analysis inside the measured window.
+            clear_solver_pool()
+            ENGINE_CACHE.clear()
+            start = time.perf_counter()
+            with observe() as window, count_sat_calls() as counter:
+                answers[engine] = _suite_fragment_queries(
+                    db, names, queries, repeat, engine
+                )
+            elapsed = (time.perf_counter() - start) * 1000.0
+            wall_ms = elapsed if wall_ms is None else min(wall_ms, elapsed)
+        key = "planned" if engine == "planned" else "default"
+        record[key] = {
+            "wall_ms": round(wall_ms, 3),
+            "sat_calls": counter.calls,
+            "np_calls": window.np_calls,
+            "sigma2_dispatches": window.sigma2_dispatches,
+        }
+    if answers["planned"] != answers["oracle"]:
+        raise AssertionError(
+            f"{name}: planned and default engines disagree on answers"
+        )
+    record["answers_equal"] = True
+    planned_ms = record["planned"]["wall_ms"]
+    record["speedup"] = (
+        round(record["default"]["wall_ms"] / planned_ms, 3)
+        if planned_ms
+        else None
+    )
+    return record
+
+
+def run_fragments(args) -> int:
+    records = []
+    for name, make_db, names, queries in FRAGMENT_SUITES:
+        record = run_fragment_suite(
+            name,
+            make_db,
+            names,
+            queries,
+            repeat=1 if args.smoke else 3,
+            attempts=1 if args.smoke else 3,
+        )
+        records.append(record)
+        print(
+            f"{name:<24} default {record['default']['wall_ms']:>9.1f}ms "
+            f"({record['default']['sat_calls']:>5} sat)  "
+            f"planned {record['planned']['wall_ms']:>8.1f}ms "
+            f"({record['planned']['sat_calls']:>4} sat)  "
+            f"speedup {record['speedup']:>7.2f}x  "
+            f"[{record['fragment']}]"
+        )
+
+    results = {
+        "benchmark": "pr5-fragment-planner",
+        "smoke": args.smoke,
+        "fragments": records,
+        "best_speedup": max(r["speedup"] for r in records),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if args.check_fragments:
+        horn = next(r for r in records if r["fragment"] in ("definite", "horn"))
+        if horn["planned"]["np_calls"] != 0:
+            failures.append(
+                f"{horn['workload']}: Horn fast path issued "
+                f"{horn['planned']['np_calls']} NP-oracle calls (want 0)"
+            )
+        if horn["speedup"] is not None and horn["speedup"] < 5.0:
+            failures.append(
+                f"{horn['workload']}: speedup {horn['speedup']}x is "
+                "below the 5x acceptance floor"
+            )
+        hcf = next(
+            r for r in records if r["fragment"] == "hcf-deductive"
+        )
+        if hcf["planned"]["sigma2_dispatches"] != 0:
+            failures.append(
+                f"{hcf['workload']}: HCF fast path issued "
+                f"{hcf['planned']['sigma2_dispatches']} Σ₂ᵖ dispatches "
+                "(want 0)"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 # ----------------------------------------------------------------------
@@ -294,8 +456,22 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
-        default="BENCH_pr3.json",
-        help="where to write the JSON results",
+        default=None,
+        help="where to write the JSON results (default BENCH_pr3.json, "
+        "or BENCH_pr5.json with --fragments)",
+    )
+    parser.add_argument(
+        "--fragments",
+        action="store_true",
+        help="run the fragment-planner workloads (planned vs default "
+        "engine) instead of the incremental-SAT suites",
+    )
+    parser.add_argument(
+        "--check-fragments",
+        action="store_true",
+        help="with --fragments: exit nonzero unless the Horn fast path "
+        "spends 0 NP calls at >=5x speedup and the HCF path dispatches "
+        "no Σ₂ᵖ machine",
     )
     parser.add_argument(
         "--smoke",
@@ -341,6 +517,12 @@ def main(argv=None) -> int:
         "span trees as JSONL (the CI artifact)",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = (
+            "BENCH_pr5.json" if args.fragments else "BENCH_pr3.json"
+        )
+    if args.fragments:
+        return run_fragments(args)
 
     repeated = []
     for name, make_db, runner, full_repeat, smoke_repeat in REPEATED_SUITES:

@@ -1,0 +1,40 @@
+"""Static analysis, in two prongs.
+
+**Input analysis** (:mod:`repro.analysis.fragment`,
+:mod:`repro.analysis.planner`): classify a
+:class:`~repro.logic.database.DisjunctiveDatabase` into the syntactic
+fragment lattice (definite ⊂ Horn ⊂ head-cycle-free deductive ⊂
+deductive ⊂ stratified ⊂ general) in one linear pass, then dispatch each
+(semantics, task) query to the cheapest procedure that is *sound* for
+that fragment — Horn collapses to a unit-propagation least-model path
+with zero SAT calls, head-cycle-free deductive databases replace the
+Σ₂ᵖ minimality primitive by a polynomial foundedness check (the
+Ben-Eliyahu–Dechter criterion).  The planner is exposed as
+``get_semantics(name, engine="planned")`` and through
+:class:`~repro.session.DatabaseSession`; the chosen
+:class:`~repro.analysis.planner.QueryPlan` is recorded on every
+:class:`~repro.session.Answer` and tightens the certifier envelope for
+the query (a Horn-planned query that issues even one NP call is a
+certificate violation).
+
+**Codebase analysis** (:mod:`repro.analysis.lint`): an AST linter
+enforcing the oracle-call discipline statically that the certifier
+checks dynamically — no ad-hoc ``SatSolver()`` outside the sanctioned
+modules, every Σ₂ᵖ primitive realization decorated for accounting, no
+Σ₂ᵖ machinery referenced from coNP-classified semantics modules,
+deadline checks in solver loops, every registered semantics tied to a
+Table 1/2 row.  Run it as ``python -m repro.analysis.lint`` or
+``repro-ddb lint``.
+"""
+
+from .fragment import FragmentAnalyzer, FragmentProfile, fragment_profile
+from .planner import FragmentPlanner, PlannedSemantics, QueryPlan
+
+__all__ = [
+    "FragmentAnalyzer",
+    "FragmentProfile",
+    "fragment_profile",
+    "FragmentPlanner",
+    "PlannedSemantics",
+    "QueryPlan",
+]

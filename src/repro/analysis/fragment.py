@@ -1,0 +1,247 @@
+"""Fragment analysis of disjunctive databases.
+
+The paper's Tables 1 and 2 price queries at their worst-case class, but
+Truszczyński's trichotomy results show that syntactic fragments collapse
+many cells: Horn databases have a unique minimal model computable by
+unit propagation (everything the GCWA family does is then P), and
+head-cycle-free databases (Ben-Eliyahu & Dechter) admit a polynomial
+minimality check, dropping the Σ₂ᵖ minimal-model primitive to NP.
+
+:class:`FragmentAnalyzer` computes a :class:`FragmentProfile` with one
+linear pass over the clauses plus two linear SCC passes (the positive
+dependency graph for head-cycle-freeness, and the cached stratification
+for the negation lattice).  Profiles are memoized per database through
+the engine cache (:func:`fragment_profile`), so the planner, the
+certifier and the CLI share one analysis.
+
+The fragment *lattice* (most specific first)::
+
+    definite ⊂ horn ⊂ hcf-deductive ⊂ deductive ⊂ stratified ⊂ general
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..logic.database import DisjunctiveDatabase
+
+#: Fragment labels, most specific first.  ``positive`` (Table 1's
+#: regime: no negation *and* no integrity clauses) is orthogonal to this
+#: chain and reported separately on the profile.
+FRAGMENT_ORDER: Tuple[str, ...] = (
+    "definite",
+    "horn",
+    "hcf-deductive",
+    "deductive",
+    "stratified",
+    "general",
+)
+
+
+@dataclass(frozen=True)
+class FragmentProfile:
+    """Everything the planner needs to know about one database.
+
+    Attributes:
+        atoms / clauses: vocabulary and clause counts.
+        facts / integrity_clauses / disjunctive_clauses /
+            clauses_with_negation / definite_clauses: clause-shape census.
+        max_head_width / max_body_width / max_clause_width: widest head,
+            body, and clause (head + body atoms) seen.
+        is_positive: Table 1's regime — no negation and no integrity
+            clauses.
+        negation_free: no ``not`` anywhere (a *deductive* database; may
+            still contain integrity clauses, i.e. Table 2's regime).
+        is_horn: every clause Horn (head ≤ 1 atom, positive body).
+        is_definite: every clause definite (head exactly 1, positive
+            body) — Horn without integrity clauses.
+        is_stratified: no dependency cycle through negation.
+        strata: stratum count (0 when unstratifiable).
+        head_cycle_free: the Ben-Eliyahu–Dechter criterion — no two
+            atoms sharing a disjunctive head lie in one SCC of the
+            positive dependency graph.
+        scc_count / largest_scc: SCC census of the positive dependency
+            graph (body→head edges; heads deliberately *not* tied,
+            unlike the stratification graph).
+    """
+
+    atoms: int
+    clauses: int
+    facts: int
+    integrity_clauses: int
+    disjunctive_clauses: int
+    clauses_with_negation: int
+    definite_clauses: int
+    max_head_width: int
+    max_body_width: int
+    max_clause_width: int
+    is_positive: bool
+    negation_free: bool
+    is_horn: bool
+    is_definite: bool
+    is_stratified: bool
+    strata: int
+    head_cycle_free: bool
+    scc_count: int
+    largest_scc: int
+
+    @property
+    def fragment(self) -> str:
+        """The most specific label of :data:`FRAGMENT_ORDER` that holds."""
+        if self.is_definite:
+            return "definite"
+        if self.is_horn:
+            return "horn"
+        if self.negation_free and self.head_cycle_free:
+            return "hcf-deductive"
+        if self.negation_free:
+            return "deductive"
+        if self.is_stratified:
+            return "stratified"
+        return "general"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-ready report (CLI / CI artifact format)."""
+        return {
+            "fragment": self.fragment,
+            "atoms": self.atoms,
+            "clauses": self.clauses,
+            "facts": self.facts,
+            "integrity_clauses": self.integrity_clauses,
+            "disjunctive_clauses": self.disjunctive_clauses,
+            "clauses_with_negation": self.clauses_with_negation,
+            "definite_clauses": self.definite_clauses,
+            "max_head_width": self.max_head_width,
+            "max_body_width": self.max_body_width,
+            "max_clause_width": self.max_clause_width,
+            "is_positive": self.is_positive,
+            "negation_free": self.negation_free,
+            "is_horn": self.is_horn,
+            "is_definite": self.is_definite,
+            "is_stratified": self.is_stratified,
+            "strata": self.strata,
+            "head_cycle_free": self.head_cycle_free,
+            "scc_count": self.scc_count,
+            "largest_scc": self.largest_scc,
+        }
+
+    def render(self) -> str:
+        lines = [f"fragment: {self.fragment}"]
+        for key, value in self.as_dict().items():
+            if key == "fragment":
+                continue
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+class FragmentAnalyzer:
+    """Computes :class:`FragmentProfile`\\ s.
+
+    Stateless; exists as a class so callers can hold one analyzer and so
+    alternative analyses (e.g. treewidth-style measures) have a home to
+    subclass.  Use :func:`fragment_profile` for the memoized entry.
+    """
+
+    def analyze(self, db: DisjunctiveDatabase) -> FragmentProfile:
+        facts = integrity = disjunctive = negated = definite = 0
+        max_head = max_body = max_clause = 0
+        all_horn = True
+        all_definite = True
+        # Positive dependency graph for head-cycle-freeness: one edge per
+        # (positive body atom → head atom).  Unlike the stratification
+        # graph, atoms sharing a head are NOT tied together — the
+        # criterion asks precisely whether such a tie would close a
+        # positive cycle.
+        adjacency: Dict[str, List[str]] = {a: [] for a in db.vocabulary}
+        head_pairs: List[Tuple[str, ...]] = []
+        for clause in db.clauses:
+            head_width = len(clause.head)
+            body_width = len(clause.body_pos) + len(clause.body_neg)
+            max_head = max(max_head, head_width)
+            max_body = max(max_body, body_width)
+            max_clause = max(max_clause, head_width + body_width)
+            if clause.is_fact:
+                facts += 1
+            if clause.is_integrity:
+                integrity += 1
+            if clause.is_disjunctive:
+                disjunctive += 1
+                head_pairs.append(tuple(sorted(clause.head)))
+            if clause.body_neg:
+                negated += 1
+            if clause.is_definite:
+                definite += 1
+            all_horn = all_horn and clause.is_horn
+            all_definite = all_definite and clause.is_definite
+            for head_atom in clause.head:
+                for body_atom in clause.body_pos:
+                    adjacency[body_atom].append(head_atom)
+
+        scc_count, largest, hcf = self._head_cycle_analysis(
+            db, adjacency, head_pairs
+        )
+        from ..engine.cache import stratification_for
+
+        stratification = stratification_for(db)
+        return FragmentProfile(
+            atoms=len(db.vocabulary),
+            clauses=len(db.clauses),
+            facts=facts,
+            integrity_clauses=integrity,
+            disjunctive_clauses=disjunctive,
+            clauses_with_negation=negated,
+            definite_clauses=definite,
+            max_head_width=max_head,
+            max_body_width=max_body,
+            max_clause_width=max_clause,
+            is_positive=db.is_positive,
+            negation_free=not db.has_negation,
+            is_horn=all_horn,
+            is_definite=all_definite and not integrity,
+            is_stratified=stratification is not None,
+            strata=0 if stratification is None else len(stratification),
+            head_cycle_free=hcf,
+            scc_count=scc_count,
+            largest_scc=largest,
+        )
+
+    @staticmethod
+    def _head_cycle_analysis(
+        db: DisjunctiveDatabase,
+        adjacency: Dict[str, List[str]],
+        head_pairs: List[Tuple[str, ...]],
+    ) -> Tuple[int, int, bool]:
+        """SCC census of the positive dependency graph, plus the
+        Ben-Eliyahu–Dechter head-cycle-freeness verdict."""
+        from ..semantics.stratification import _tarjan_sccs
+
+        components = _tarjan_sccs(sorted(db.vocabulary), adjacency)
+        component_of = {
+            atom: index
+            for index, component in enumerate(components)
+            for atom in component
+        }
+        largest = max((len(c) for c in components), default=0)
+        hcf = True
+        for head in head_pairs:
+            seen: Dict[int, str] = {}
+            for atom in head:
+                component = component_of[atom]
+                if component in seen:
+                    # Two distinct head atoms in one SCC: a positive
+                    # cycle runs through the disjunction.
+                    hcf = False
+                    break
+                seen[component] = atom
+            if not hcf:
+                break
+        return len(components), largest, hcf
+
+
+def fragment_profile(db: DisjunctiveDatabase) -> FragmentProfile:
+    """The memoized :class:`FragmentProfile` of ``db`` (see
+    :func:`repro.engine.cache.fragment_profile_for`)."""
+    from ..engine.cache import fragment_profile_for
+
+    return fragment_profile_for(db)

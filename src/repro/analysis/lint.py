@@ -1,0 +1,475 @@
+"""The repro codebase linter — prong 2 of the static-analysis subsystem.
+
+The observability layer (:mod:`repro.obs`) can only certify complexity
+claims for code paths that actually route through its accounting; the
+architectural conventions that make the accounting *complete* are
+enforced here, statically, over the AST of the source tree:
+
+====== ==============================================================
+Rule   Convention enforced
+====== ==============================================================
+RPR001 No ad-hoc ``SatSolver()`` construction outside the sanctioned
+       modules (``repro/sat/solver.py`` one-shot helpers and the
+       pooled ``repro/sat/incremental.py``) — stray solvers bypass
+       pooling *and* the per-query solver-stat deltas.
+RPR002 Every function named ``find_minimal_satisfying`` (the Σ₂ᵖ
+       primitive) must be decorated ``@counts_as_sigma2_dispatch`` so
+       each realization site is wrapped in oracle accounting.
+RPR003 Modules implementing coNP-classified semantics (every Table
+       1/2 upper bound ≤ coNP — currently ``ddr`` and ``pws``) must
+       not reference Σ₂ᵖ machinery at all: a coNP entry point that
+       dispatches ``find_minimal_satisfying`` would blow its own
+       certified envelope.
+RPR004 Every ``while`` loop that issues ``solve()`` calls must thread
+       a ``check_deadline()`` through its body, so unbounded solver
+       loops stay responsive to session budgets.
+RPR005 Every ``Semantics`` subclass declaring a ``name`` must be
+       ``@register``-ed and (after alias folding) carry a Table 1/2
+       row claim — a semantics outside the tables silently escapes
+       certification.
+RPR006 No direct ``stratify()`` calls outside the implementing module
+       and the engine cache — use the memoized accessors so the
+       analyzer, the planner and the semantics share one
+       stratification per database.
+====== ==============================================================
+
+A violation that is *known-good* is waived inline with a comment on the
+flagged line or the line above it::
+
+    abstraction = SatSolver()  # lint: ok RPR001 -- bare CNF, no db
+
+Run as ``python -m repro.analysis.lint [paths...]`` or ``repro-ddb
+lint``; exit status 1 on any finding, ``--format json`` for the
+machine-readable report CI archives (the zero-new-findings gate).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+#: Modules allowed to construct ``SatSolver`` directly (RPR001): the
+#: one-shot helper module and the pooled incremental layer.
+SANCTIONED_SOLVER_MODULES = (
+    "repro/sat/solver.py",
+    "repro/sat/incremental.py",
+)
+
+#: Modules allowed to call ``stratify`` directly (RPR006): the
+#: implementation and the cache that memoizes it.
+SANCTIONED_STRATIFY_MODULES = (
+    "repro/semantics/stratification.py",
+    "repro/engine/cache.py",
+)
+
+#: Identifiers that mark Σ₂ᵖ machinery (RPR003).  The ``np_``-prefixed
+#: head-cycle-free variants are deliberately absent — they realize an
+#: NP machine.
+SIGMA2_MACHINERY = frozenset(
+    {
+        "find_minimal_satisfying",
+        "entails_in_all_minimal",
+        "MinimalModelSolver",
+        "PZMinimalModelSolver",
+        "PrioritizedMinimalModelSolver",
+        "sigma2_dispatch",
+        "counts_as_sigma2_dispatch",
+    }
+)
+
+#: Fallback for RPR003/RPR005 when the package cannot be imported (e.g.
+#: linting a checkout from outside).  Kept in sync by
+#: ``tests/test_analysis.py``.
+_FALLBACK_CONP_SEMANTICS = frozenset({"ddr", "pws"})
+_FALLBACK_ROW_ORDER = (
+    "gcwa", "ddr", "pws", "egcwa", "ccwa", "ecwa", "icwa", "perf",
+    "dsm", "pdsm",
+)
+_FALLBACK_ALIASES = {"circ": "ecwa", "wgcwa": "ddr", "pms": "pws"}
+
+#: Base-class names that mark a semantics implementation (RPR005).
+_SEMANTICS_BASES = frozenset({"Semantics", "PartitionedSemantics"})
+
+
+def conp_semantics() -> frozenset:
+    """Semantics whose every Table 1/2 upper bound is ≤ coNP, derived
+    from the claims themselves when the package is importable."""
+    try:
+        from ..complexity import ROW_ORDER
+        from ..complexity.classes import CC
+        from ..obs.certify import Certifier, Regime, Task
+
+        low = {CC.CONSTANT, CC.P, CC.NP, CC.CONP}
+        names = []
+        for name in ROW_ORDER:
+            uppers = set()
+            for task in Task:
+                for regime in Regime:
+                    try:
+                        uppers.add(
+                            Certifier.claim_for(name, task, regime).upper
+                        )
+                    except KeyError:
+                        continue
+            if uppers and uppers <= low:
+                names.append(name)
+        return frozenset(names)
+    except Exception:
+        return _FALLBACK_CONP_SEMANTICS
+
+
+def table_rows() -> Tuple[Tuple[str, ...], Dict[str, str]]:
+    """``(ROW_ORDER, aliases)`` for RPR005, with a static fallback."""
+    try:
+        from ..complexity import ROW_ORDER
+        from ..obs.certify import _ALIASES
+
+        return tuple(ROW_ORDER), dict(_ALIASES)
+    except Exception:
+        return _FALLBACK_ROW_ORDER, dict(_FALLBACK_ALIASES)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation, pinned to a source position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _module_matches(path: Path, suffixes: Sequence[str]) -> bool:
+    text = path.as_posix()
+    return any(text.endswith(suffix) for suffix in suffixes)
+
+
+def _call_name(node: ast.Call) -> str:
+    """The rightmost identifier of a call target (``x.y.f()`` → ``f``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class
+    definitions — code there runs in its own dynamic context."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+# ----------------------------------------------------------------------
+# Rules.  Each takes (path, tree) and yields findings; waiver filtering
+# happens afterwards, centrally.
+
+def _rule_adhoc_solver(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    if _module_matches(path, SANCTIONED_SOLVER_MODULES):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _call_name(node) == "SatSolver":
+            yield Finding(
+                "RPR001", str(path), node.lineno, node.col_offset,
+                "ad-hoc SatSolver() construction; use the one-shot "
+                "helpers in repro.sat.solver or pooled_scope()/"
+                "acquire_solver() from repro.sat.incremental",
+            )
+
+
+def _rule_sigma2_decorator(
+    path: Path, tree: ast.Module
+) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == "find_minimal_satisfying"
+        ):
+            decorated = any(
+                (isinstance(dec, ast.Name)
+                 and dec.id == "counts_as_sigma2_dispatch")
+                or (isinstance(dec, ast.Attribute)
+                    and dec.attr == "counts_as_sigma2_dispatch")
+                for dec in node.decorator_list
+            )
+            if not decorated:
+                yield Finding(
+                    "RPR002", str(path), node.lineno, node.col_offset,
+                    "find_minimal_satisfying realizes the Σ₂ᵖ primitive "
+                    "and must be decorated @counts_as_sigma2_dispatch",
+                )
+
+
+def _rule_conp_purity(path: Path, tree: ast.Module) -> Iterator[Finding]:
+    conp = conp_semantics()
+    suffixes = [f"repro/semantics/{name}.py" for name in sorted(conp)]
+    if not _module_matches(path, suffixes):
+        return
+    for node in ast.walk(tree):
+        name = ""
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.alias):
+            name = node.name.rsplit(".", 1)[-1]
+        if name in SIGMA2_MACHINERY:
+            yield Finding(
+                "RPR003", str(path), node.lineno, node.col_offset,
+                f"coNP-classified semantics module references Σ₂ᵖ "
+                f"machinery ({name}); the certified envelope forbids "
+                "minimal-model dispatch here",
+            )
+
+
+def _rule_budgeted_loops(
+    path: Path, tree: ast.Module
+) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.While):
+            continue
+        calls = {
+            _call_name(inner)
+            for inner in _walk_same_scope(node)
+            if isinstance(inner, ast.Call)
+        }
+        if "solve" in calls and "check_deadline" not in calls:
+            yield Finding(
+                "RPR004", str(path), node.lineno, node.col_offset,
+                "while-loop issues solve() without check_deadline(); "
+                "unbounded solver loops must stay responsive to "
+                "session budgets",
+            )
+
+
+def _rule_registered_semantics(
+    path: Path, tree: ast.Module
+) -> Iterator[Finding]:
+    rows, aliases = table_rows()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {
+            base.id if isinstance(base, ast.Name) else
+            base.attr if isinstance(base, ast.Attribute) else ""
+            for base in node.bases
+        }
+        if not bases & _SEMANTICS_BASES:
+            continue
+        declared = None
+        for statement in node.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and statement.targets[0].id == "name"
+                and isinstance(statement.value, ast.Constant)
+                and isinstance(statement.value.value, str)
+            ):
+                declared = statement.value.value
+        if declared is None:
+            continue  # abstract helper base, not a registered semantics
+        registered = any(
+            (isinstance(dec, ast.Name) and dec.id == "register")
+            or (isinstance(dec, ast.Attribute) and dec.attr == "register")
+            for dec in node.decorator_list
+        )
+        if not registered:
+            yield Finding(
+                "RPR005", str(path), node.lineno, node.col_offset,
+                f"Semantics subclass {node.name} declares "
+                f"name={declared!r} but is not @register-ed",
+            )
+            continue
+        canonical = aliases.get(declared, declared)
+        if canonical not in rows:
+            yield Finding(
+                "RPR005", str(path), node.lineno, node.col_offset,
+                f"semantics {declared!r} carries no Table 1/2 row "
+                "claim; queries against it escape complexity "
+                "certification",
+            )
+
+
+def _rule_cached_stratification(
+    path: Path, tree: ast.Module
+) -> Iterator[Finding]:
+    if _module_matches(path, SANCTIONED_STRATIFY_MODULES):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _call_name(node) == "stratify":
+            yield Finding(
+                "RPR006", str(path), node.lineno, node.col_offset,
+                "direct stratify() call; use the memoized "
+                "stratification_for()/require_stratification() "
+                "accessors so analyses share one result per database",
+            )
+
+
+#: rule id -> (one-line summary, checker).
+RULES: Dict[
+    str,
+    Tuple[str, Callable[[Path, ast.Module], Iterator[Finding]]],
+] = {
+    "RPR001": ("no ad-hoc SatSolver()", _rule_adhoc_solver),
+    "RPR002": (
+        "Σ₂ᵖ primitive wrapped in accounting", _rule_sigma2_decorator,
+    ),
+    "RPR003": ("coNP modules free of Σ₂ᵖ machinery", _rule_conp_purity),
+    "RPR004": ("solver loops check deadlines", _rule_budgeted_loops),
+    "RPR005": (
+        "semantics registered with a table claim",
+        _rule_registered_semantics,
+    ),
+    "RPR006": (
+        "stratification through the cache", _rule_cached_stratification,
+    ),
+}
+
+_WAIVER_MARK = "# lint: ok"
+
+
+def _waived_rules(line: str) -> frozenset:
+    """Rule ids waived by ``# lint: ok RPR001 RPR004 [-- rationale]``."""
+    index = line.find(_WAIVER_MARK)
+    if index < 0:
+        return frozenset()
+    tail = line[index + len(_WAIVER_MARK):]
+    tail = tail.split("--", 1)[0]
+    return frozenset(
+        token for token in tail.replace(",", " ").split()
+        if token.startswith("RPR")
+    )
+
+
+def _is_waived(finding: Finding, lines: Sequence[str]) -> bool:
+    for lineno in (finding.line, finding.line - 1):
+        if 1 <= lineno <= len(lines):
+            if finding.rule in _waived_rules(lines[lineno - 1]):
+                return True
+    return False
+
+
+def lint_file(path: Path) -> List[Finding]:
+    """All unwaived findings in one Python source file."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Finding(
+                "RPR000", str(path), error.lineno or 1,
+                error.offset or 0, f"syntax error: {error.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    findings = [
+        finding
+        for _, checker in RULES.values()
+        for finding in checker(path, tree)
+        if not _is_waived(finding, lines)
+    ]
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Finding]:
+    """All unwaived findings across files and directory trees."""
+    return [
+        finding
+        for path in iter_python_files(paths)
+        for finding in lint_file(path)
+    ]
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package tree (what CI gates on)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def main(argv: Sequence[str] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-ddb lint",
+        description="Lint the repro source tree for complexity-"
+        "accounting conventions (rules RPR001-RPR006).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI artifact format)",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="list the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.rules:
+        for rule_id, (summary, _) in sorted(RULES.items()):
+            print(f"{rule_id}  {summary}")
+        return 0
+    targets = args.paths or [default_target()]
+    findings = lint_paths(targets)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_dict() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+                ensure_ascii=False,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"{len(findings)} finding(s) in "
+            f"{len(list(iter_python_files(targets)))} file(s)"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

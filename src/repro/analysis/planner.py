@@ -1,0 +1,363 @@
+"""The fragment planner and the ``"planned"`` engine.
+
+:class:`FragmentPlanner` maps one ``(semantics, entry point)`` query
+over a profiled database to the cheapest *sound* procedure:
+
+* ``horn-least-model`` — on Horn databases every closed-world semantics
+  in :data:`HORN_COLLAPSE` selects exactly the least model of the
+  definite part (or nothing, when an integrity clause fails), so every
+  entry point is answered from the unit-propagation fixpoint — class P,
+  **zero SAT calls**;
+* ``hcf-founded`` — on head-cycle-free deductive databases the Σ₂ᵖ
+  minimality primitive is replaced by the polynomial foundedness check
+  (:class:`~repro.analysis.procedures.HeadCycleFreeSolver`), dropping
+  minimal-model entailment to an NP-level machine — plain SAT calls,
+  **zero Σ₂ᵖ dispatches**;
+* ``default`` — everything else delegates verbatim to the wrapped
+  oracle-engine instance.
+
+:class:`PlannedSemantics` is the engine façade behind
+``get_semantics(name, engine="planned")``: it profiles the database
+(memoized), records the chosen :class:`QueryPlan` on itself (the
+session copies it onto the :class:`~repro.session.Answer` and hands it
+to the certifier, which *tightens* the envelope to the fragment's
+class), and executes the planned procedure.
+
+Soundness notes (each backed by the 5-engine differential corpus):
+
+* Horn collapse: on a consistent Horn database the least model ``M`` is
+  the unique minimal model; GCWA/EGCWA/CCWA/ECWA/CIRC (default
+  partition), DDR, PWS, ICWA (default partition — Horn databases are
+  trivially stratified), PERF (Horn + no ICs), DSM and CWA all select
+  exactly ``{M}``; on an inconsistent one all select ``∅``.  PDSM's
+  three-valued states and the supported-model semantics (``a :- a.``
+  has the non-minimal supported model ``{a}``) do *not* collapse and
+  stay on ``default``.
+* HCF reduction: with the default partition and no negation,
+  EGCWA/ECWA/CIRC/DSM/PERF/ICWA inference is minimal-model entailment
+  (``EGCWA(DB) = MM(DB)``; stable = minimal on negation-free programs;
+  a negation-free database has a single stratum), and GCWA/CCWA
+  inference is classical entailment from ``DB ∪ {¬x : x ∈ ff(DB)}``
+  where ``ff`` needs only minimal-model witness queries — all served by
+  the foundedness machine, which is complete exactly on the
+  head-cycle-free fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Union
+
+from ..logic.atoms import Literal
+from ..logic.database import DisjunctiveDatabase
+from ..logic.formula import Formula
+from ..logic.interpretation import Interpretation
+from ..sat.incremental import pooled_scope
+from ..semantics.base import Semantics, ground_query, literal_formula
+from .fragment import FragmentProfile, fragment_profile
+from .procedures import HeadCycleFreeSolver, horn_least_model
+
+#: Semantics whose selected-model set collapses to {least model} on
+#: consistent Horn databases (and to ∅ on inconsistent ones), under the
+#: default partition.  See the module docstring for the exclusions.
+HORN_COLLAPSE: FrozenSet[str] = frozenset(
+    {
+        "cwa", "gcwa", "ddr", "pws", "egcwa", "ccwa", "ecwa", "circ",
+        "icwa", "perf", "dsm",
+    }
+)
+
+#: Semantics whose cautious/brave inference is plain minimal-model
+#: entailment on head-cycle-free deductive databases (default partition).
+MM_REDUCIBLE: FrozenSet[str] = frozenset(
+    {"egcwa", "ecwa", "circ", "icwa", "dsm", "perf"}
+)
+
+#: Semantics whose inference is classical entailment from the
+#: free-for-negation closure (GCWA-style) — ``ff`` itself reduces to
+#: minimal-model witness queries.
+FF_REDUCIBLE: FrozenSet[str] = frozenset({"gcwa", "ccwa"})
+
+#: Procedure names recorded on plans.
+HORN_PROCEDURE = "horn-least-model"
+HCF_PROCEDURE = "hcf-founded"
+DEFAULT_PROCEDURE = "default"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's verdict for one query.
+
+    Attributes:
+        semantics: canonical semantics name.
+        method: the entry point planned for.
+        fragment: the database's fragment label.
+        procedure: one of ``horn-least-model`` / ``hcf-founded`` /
+            ``default``.
+        claim: the complexity class the chosen procedure runs in (what
+            the certifier tightens the envelope to).
+        reason: one line of planner rationale.
+    """
+
+    semantics: str
+    method: str
+    fragment: str
+    procedure: str
+    claim: str
+    reason: str
+
+    @property
+    def envelope_key(self) -> Optional[str]:
+        """The certifier's tightened-envelope key (``None`` = the
+        regular table-cell envelope applies)."""
+        if self.procedure == HORN_PROCEDURE:
+            return "horn"
+        if self.procedure == HCF_PROCEDURE:
+            return "hcf"
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "semantics": self.semantics,
+            "method": self.method,
+            "fragment": self.fragment,
+            "procedure": self.procedure,
+            "claim": self.claim,
+            "reason": self.reason,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.semantics}/{self.method} on {self.fragment}: "
+            f"{self.procedure} [{self.claim}] — {self.reason}"
+        )
+
+
+class FragmentPlanner:
+    """Maps (profile, semantics, entry point) to a :class:`QueryPlan`."""
+
+    @staticmethod
+    def _default_parameterization(inner: Semantics) -> bool:
+        """The fast paths are proved only for the default partition
+        (minimize the whole vocabulary, nothing floats, canonical
+        stratification)."""
+        return (
+            getattr(inner, "p", None) is None
+            and not getattr(inner, "z", frozenset())
+            and getattr(inner, "stratification", None) is None
+        )
+
+    def plan(
+        self,
+        profile: FragmentProfile,
+        inner: Semantics,
+        method: str,
+    ) -> QueryPlan:
+        name = inner.name
+        fragment = profile.fragment
+
+        def fallback(reason: str) -> QueryPlan:
+            return QueryPlan(
+                semantics=name,
+                method=method,
+                fragment=fragment,
+                procedure=DEFAULT_PROCEDURE,
+                claim="table default",
+                reason=reason,
+            )
+
+        if not self._default_parameterization(inner):
+            return fallback("non-default partition parameters")
+        if profile.is_horn and name in HORN_COLLAPSE:
+            return QueryPlan(
+                semantics=name,
+                method=method,
+                fragment=fragment,
+                procedure=HORN_PROCEDURE,
+                claim="P",
+                reason=(
+                    "Horn database: the unit-propagation least model is "
+                    "the unique selected model (zero SAT calls)"
+                ),
+            )
+        if profile.negation_free and profile.head_cycle_free:
+            if name in MM_REDUCIBLE and method in (
+                "infers", "infers_literal", "infers_brave",
+            ):
+                return QueryPlan(
+                    semantics=name,
+                    method=method,
+                    fragment=fragment,
+                    procedure=HCF_PROCEDURE,
+                    claim="coNP" if method != "infers_brave" else "NP",
+                    reason=(
+                        "head-cycle-free: minimal-model entailment with "
+                        "the polynomial foundedness check (no Σ₂ᵖ "
+                        "dispatch)"
+                    ),
+                )
+            if name in FF_REDUCIBLE and method in (
+                "infers", "infers_literal",
+            ):
+                return QueryPlan(
+                    semantics=name,
+                    method=method,
+                    fragment=fragment,
+                    procedure=HCF_PROCEDURE,
+                    claim="coNP",
+                    reason=(
+                        "head-cycle-free: ff(DB) by founded witness "
+                        "queries, then one classical entailment call"
+                    ),
+                )
+            return fallback(
+                "no NP-level reduction for this semantics/task on the "
+                "head-cycle-free fragment"
+            )
+        return fallback(f"no fast path for the {fragment} fragment")
+
+
+class PlannedSemantics(Semantics):
+    """The ``"planned"`` engine: fragment-dispatched façade over an
+    oracle-engine instance.
+
+    Obtain through ``get_semantics(name, engine="planned")`` or
+    ``DatabaseSession(db, engine="planned")``.  The last chosen plan is
+    kept on :attr:`last_plan` for the session/certifier; unknown
+    attributes delegate to the wrapped instance.
+    """
+
+    def __init__(
+        self,
+        inner: Semantics,
+        planner: Optional[FragmentPlanner] = None,
+    ):
+        if isinstance(inner, PlannedSemantics):
+            inner = inner.inner
+        # Deliberately skip Semantics.__init__: "planned" is a wrapper
+        # engine, same pattern as CachedSemantics.
+        self.inner = inner
+        self.engine = "planned"
+        self.name = inner.name
+        self.aliases = inner.aliases
+        self.description = inner.description
+        self.planner = planner if planner is not None else FragmentPlanner()
+        self.last_plan: Optional[QueryPlan] = None
+
+    # ------------------------------------------------------------------
+    def validate(self, db: DisjunctiveDatabase) -> None:
+        # Runs before planning so inapplicable databases raise exactly
+        # as they would on any other engine.
+        self.inner.validate(db)
+
+    def plan_for(self, db: DisjunctiveDatabase, method: str) -> QueryPlan:
+        """The plan this engine would (and does) use for ``method``."""
+        plan = self.planner.plan(fragment_profile(db), self.inner, method)
+        self.last_plan = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def model_set(
+        self, db: DisjunctiveDatabase
+    ) -> FrozenSet[Interpretation]:
+        self.validate(db)
+        plan = self.plan_for(db, "model_set")
+        if plan.procedure == HORN_PROCEDURE:
+            model, consistent = horn_least_model(db)
+            return frozenset({model}) if consistent else frozenset()
+        return self.inner.model_set(db)
+
+    def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
+        self.validate(db)
+        plan = self.plan_for(db, "infers")
+        if plan.procedure == HORN_PROCEDURE:
+            model, consistent = horn_least_model(db)
+            if not consistent:
+                return True  # vacuous: no selected models
+            return model.satisfies(ground_query(db, formula))
+        if plan.procedure == HCF_PROCEDURE:
+            return self._hcf_infers(db, ground_query(db, formula))
+        return self.inner.infers(db, formula)
+
+    def infers_literal(
+        self, db: DisjunctiveDatabase, literal: Union[Literal, str]
+    ) -> bool:
+        if isinstance(literal, str):
+            literal = Literal.parse(literal)
+        self.validate(db)
+        plan = self.plan_for(db, "infers_literal")
+        if plan.procedure == HORN_PROCEDURE:
+            model, consistent = horn_least_model(db)
+            if not consistent:
+                return True
+            return (literal.atom in model) == literal.positive
+        if plan.procedure == HCF_PROCEDURE:
+            formula = ground_query(db, literal_formula(literal))
+            return self._hcf_infers(db, formula)
+        return self.inner.infers_literal(db, literal)
+
+    def infers_brave(
+        self, db: DisjunctiveDatabase, formula: Formula
+    ) -> bool:
+        self.validate(db)
+        plan = self.plan_for(db, "infers_brave")
+        if plan.procedure == HORN_PROCEDURE:
+            model, consistent = horn_least_model(db)
+            if not consistent:
+                return False  # no selected model can witness anything
+            return model.satisfies(ground_query(db, formula))
+        if plan.procedure == HCF_PROCEDURE:
+            formula = ground_query(db, formula)
+            with self._hcf_solver(db) as solver:
+                return (
+                    solver.np_find_minimal_satisfying(formula) is not None
+                )
+        return self.inner.infers_brave(db, formula)
+
+    def has_model(self, db: DisjunctiveDatabase) -> bool:
+        self.validate(db)
+        plan = self.plan_for(db, "has_model")
+        if plan.procedure == HORN_PROCEDURE:
+            _, consistent = horn_least_model(db)
+            return consistent
+        return self.inner.has_model(db)
+
+    # ------------------------------------------------------------------
+    # The head-cycle-free procedures
+    # ------------------------------------------------------------------
+    def _hcf_solver(self, db: DisjunctiveDatabase) -> HeadCycleFreeSolver:
+        return HeadCycleFreeSolver(db, reuse=self.inner.sat_reuse)
+
+    def _hcf_infers(
+        self, db: DisjunctiveDatabase, formula: Formula
+    ) -> bool:
+        """Cautious inference on the hcf-deductive fragment: direct
+        minimal-model entailment for the MM-reducible semantics, the
+        ``ff``-closure + one classical call for the GCWA family."""
+        if self.name in FF_REDUCIBLE:
+            from ..semantics.gcwa import augmented_database
+
+            with self._hcf_solver(db) as solver:
+                free = solver.np_free_for_negation()
+            augmented = augmented_database(db, free)
+            with pooled_scope(
+                augmented, context=("db",), reuse=self.inner.sat_reuse
+            ) as sat:
+                sat.add_formula(formula, positive=False)
+                return not sat.solve()
+        with self._hcf_solver(db) as solver:
+            return solver.np_entails(formula)
+
+    # ------------------------------------------------------------------
+    def cache_params(self) -> tuple:
+        return self.inner.cache_params()
+
+    def __getattr__(self, attr: str):
+        # Only reached for attributes not found normally; delegate to
+        # the wrapped semantics (partition params, closure helpers, ...).
+        return getattr(self.inner, attr)
+
+    def __repr__(self) -> str:
+        return f"PlannedSemantics({self.inner!r})"

@@ -35,7 +35,6 @@ from . import __version__
 from .errors import ReproError
 from .logic.parser import parse_database, parse_formula
 from .semantics import SEMANTICS, get_semantics, resolve_name
-from .semantics.stratification import stratify
 
 
 def _read_database(path: str):
@@ -96,8 +95,10 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_stratify(args) -> int:
+    from .engine.cache import stratification_for
+
     db = _read_database(args.file)
-    stratification = stratify(db)
+    stratification = stratification_for(db)
     if stratification is None:
         print("NOT STRATIFIED (dependency cycle through negation)")
         return 1
@@ -357,6 +358,53 @@ def _cmd_tables(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    import json as _json
+
+    from .analysis import FragmentPlanner, fragment_profile
+    from .complexity import ROW_ORDER
+    from .semantics import get_semantics
+
+    db = _read_database(args.file)
+    profile = fragment_profile(db)
+    planner = FragmentPlanner()
+    plans = {
+        name: planner.plan(profile, get_semantics(name), "infers")
+        for name in ROW_ORDER
+    }
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "profile": profile.as_dict(),
+                    "plans": {
+                        name: plan.as_dict()
+                        for name, plan in plans.items()
+                    },
+                },
+                indent=2,
+                ensure_ascii=False,
+            )
+        )
+        return 0
+    print(profile.render())
+    print()
+    print("planner dispatch (formula inference):")
+    for name, plan in plans.items():
+        print(f"  {name:6s} -> {plan.procedure:16s} [{plan.claim}]")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis.lint import main as lint_main
+
+    argv = [str(path) for path in args.paths]
+    argv += ["--format", args.format]
+    if args.rules:
+        argv.append("--rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for every repro-ddb subcommand."""
     parser = argparse.ArgumentParser(
@@ -380,12 +428,17 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--engine",
-            choices=("oracle", "fresh", "brute", "cached", "resilient"),
+            choices=(
+                "oracle", "fresh", "brute", "cached", "resilient",
+                "planned",
+            ),
             default="oracle",
             help=(
                 "decision engine ('fresh' disables solver-pool reuse; "
                 "'cached' memoizes oracle results; "
-                "'resilient' adds retry/fallback degradation)"
+                "'resilient' adds retry/fallback degradation; "
+                "'planned' dispatches Horn/head-cycle-free fragments "
+                "to cheaper sound procedures)"
             ),
         )
         sub.add_argument(
@@ -627,6 +680,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the Prometheus-style metrics exposition",
     )
     trace_cmd.set_defaults(handler=_cmd_trace)
+
+    analyze_cmd = commands.add_parser(
+        "analyze",
+        help=(
+            "fragment-analyze a database and show how the planner "
+            "would dispatch each semantics"
+        ),
+    )
+    analyze_cmd.add_argument("file", help="database file ('-' for stdin)")
+    analyze_cmd.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report (the CI artifact format)",
+    )
+    analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    lint_cmd = commands.add_parser(
+        "lint",
+        help=(
+            "lint the source tree for complexity-accounting "
+            "conventions (rules RPR001-RPR006)"
+        ),
+    )
+    lint_cmd.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: the repro package)",
+    )
+    lint_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    lint_cmd.add_argument(
+        "--rules", action="store_true",
+        help="list the rule catalog and exit",
+    )
+    lint_cmd.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -166,49 +166,54 @@ def _solve_union_query(
     ``(P;Z)``-minimality (an NP call); failures refine the abstraction by
     blocking the cone above the discovered smaller model.
     """
+    from ..sat.incremental import pooled_scope
     from ..sat.minimal import PZMinimalModelSolver
-    from ..sat.solver import SatSolver
 
     oracle.queries += 1
     from .oracles import count_sat_calls
 
     # One Σ₂ᵖ dispatch: the inner CEGAR loop only consults the NP oracle
     # (``witness_below`` is a single SAT call), so the dispatch depth
-    # stays at one no matter how many refinement rounds run.
+    # stays at one no matter how many refinement rounds run.  The union
+    # database is freshly renamed per query, so the scope is a throwaway
+    # (``reuse=False``): never pooled, but still budget-aware.
     with _sigma2_dispatch(), count_sat_calls() as counter:
         union, renamings = _copied_database(db, k)
-        searcher = SatSolver()
-        searcher.add_database(union)
-        searcher.add_formula(_distinct_witness_condition(sorted(p), k))
-        if extra_condition is not None:
-            searcher.add_formula(extra_condition)
-        q = frozenset(db.vocabulary) - p - z
-        checker = PZMinimalModelSolver(db, p, z)
-        fresh = [0]
-        result = False
-        while True:
-            # Each CEGAR refinement round re-checks the deadline: a round
-            # can add many cones before the next SAT call trips the
-            # per-call budget hooks.
-            check_deadline()
-            if not searcher.solve():
-                break
-            model = searcher.model(restrict_to=union.vocabulary)
-            refined = False
-            for renaming in renamings:
-                part = frozenset(
-                    atom for atom, copy_atom in renaming.items()
-                    if copy_atom in model
-                )
-                witness = checker.witness_below(part)
-                if witness is not None:
-                    _block_cone(searcher, renaming, frozenset(witness),
-                                p, q, fresh)
-                    refined = True
+        with pooled_scope(union, reuse=False) as searcher:
+            searcher.add_formula(
+                _distinct_witness_condition(sorted(p), k)
+            )
+            if extra_condition is not None:
+                searcher.add_formula(extra_condition)
+            q = frozenset(db.vocabulary) - p - z
+            checker = PZMinimalModelSolver(db, p, z)
+            fresh = [0]
+            result = False
+            while True:
+                # Each CEGAR refinement round re-checks the deadline: a
+                # round can add many cones before the next SAT call
+                # trips the per-call budget hooks.
+                check_deadline()
+                if not searcher.solve():
                     break
-            if not refined:
-                result = True
-                break
+                model = searcher.model(restrict_to=union.vocabulary)
+                refined = False
+                for renaming in renamings:
+                    part = frozenset(
+                        atom for atom, copy_atom in renaming.items()
+                        if copy_atom in model
+                    )
+                    witness = checker.witness_below(part)
+                    if witness is not None:
+                        _block_cone(
+                            searcher, renaming, frozenset(witness),
+                            p, q, fresh,
+                        )
+                        refined = True
+                        break
+                if not refined:
+                    result = True
+                    break
     oracle.inner_sat_calls += counter.calls
     return result
 
@@ -254,15 +259,13 @@ def _final_query(
     if k_star == 0:
         # No witness copies: the query degenerates to plain satisfiability
         # of the side condition (still one oracle call, trivially in Σ₂ᵖ).
-        from ..sat.solver import SatSolver
+        from ..sat.solver import formula_is_satisfiable
         from .oracles import count_sat_calls
 
         oracle.queries += 1
         _note_sigma2_dispatch()
         with count_sat_calls() as counter:
-            solver = SatSolver()
-            solver.add_formula(side)
-            answer = solver.solve()
+            answer = formula_is_satisfiable(side)
         oracle.inner_sat_calls += counter.calls
         return answer
 

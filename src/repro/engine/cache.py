@@ -262,6 +262,35 @@ def minimal_models_for(db) -> Tuple:
     return ENGINE_CACHE.get_or_compute("minimal_models", db, build)
 
 
+def stratification_for(db):
+    """The canonical :class:`~repro.semantics.stratification.Stratification`
+    of ``db``, or ``None`` when it has a dependency cycle through
+    negation — memoized.  The full dependency-graph/SCC pass is linear
+    but was rebuilt on every ``is_stratified`` / ``require_stratification``
+    call; the fragment analyzer, ICWA and the CLI all route through this
+    single cached entry instead."""
+
+    def build():
+        from ..semantics.stratification import stratify
+
+        return stratify(db)
+
+    return ENGINE_CACHE.get_or_compute("stratification", db, build)
+
+
+def fragment_profile_for(db):
+    """The :class:`~repro.analysis.fragment.FragmentProfile` of ``db``,
+    memoized (one linear clause pass plus two SCC passes per database,
+    shared by the planner, the certifier and the CLI)."""
+
+    def build():
+        from ..analysis.fragment import FragmentAnalyzer
+
+        return FragmentAnalyzer().analyze(db)
+
+    return ENGINE_CACHE.get_or_compute("fragment_profile", db, build)
+
+
 def pz_minimal_models_for(db, p, z) -> Tuple:
     """``MM(DB; P; Z)`` by explicit enumeration, memoized per partition."""
     p = frozenset(p)

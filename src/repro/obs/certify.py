@@ -48,8 +48,12 @@ CERTIFICATES = METRICS.counter(
     "Per-query complexity certificates checked",
 )
 
-#: Engines certified against the oracle envelopes.
-ORACLE_ENGINES = ("oracle", "fresh", "cached")
+#: Engines certified against the oracle envelopes.  ``planned`` is
+#: included: when the planner falls back to the default procedure it
+#: must meet the regular table-cell envelope, and when it chooses a
+#: fragment fast path the envelope is *tightened* (see
+#: :data:`FRAGMENT_ENVELOPES`).
+ORACLE_ENGINES = ("oracle", "fresh", "cached", "planned")
 
 #: Registry aliases the certifier resolves without importing the
 #: semantics registry (kept tiny on purpose; ``canonical_name`` falls
@@ -170,6 +174,9 @@ class ComplexityCertificate:
     atoms: int
     violations: List[CertificateViolation] = field(default_factory=list)
     certified: bool = True  # False => engine out of certification scope
+    #: The planner's :class:`~repro.analysis.planner.QueryPlan` when the
+    #: query ran on the ``planned`` engine (``None`` otherwise).
+    plan: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -187,6 +194,11 @@ class ComplexityCertificate:
             "ok": self.ok,
             "observation": self.observation.as_dict(),
             "violations": [v.render() for v in self.violations],
+            "plan": (
+                self.plan.as_dict()
+                if self.plan is not None and hasattr(self.plan, "as_dict")
+                else None
+            ),
         }
 
     def render(self) -> str:
@@ -276,6 +288,32 @@ _BRUTE_ENVELOPE = CellEnvelope(
 #: reviewable here rather than hidden in looser global constants.
 ENVELOPE_OVERRIDES: Dict[Tuple[str, Task, Regime], CellEnvelope] = {}
 
+#: Tightened envelopes for the ``planned`` engine's fragment fast
+#: paths, keyed by :attr:`repro.analysis.planner.QueryPlan.envelope_key`.
+#: These *replace* the (looser) table-cell envelope when the planner
+#: reports a fast path, turning the fragment claim into an enforced
+#: contract:
+#:
+#: * ``horn`` — the unit-propagation path is pure P: **zero** NP calls,
+#:   zero Σ₂ᵖ dispatches, zero enumeration nodes.  A Horn-planned query
+#:   that issues even one SAT call is a certificate violation.
+#: * ``hcf`` — the foundedness machine is NP-level: plain SAT calls
+#:   (bounded linearly with a generous constant for the candidate
+#:   loop), but **zero** Σ₂ᵖ dispatches ever.
+FRAGMENT_ENVELOPES: Dict[str, CellEnvelope] = {
+    "horn": CellEnvelope(
+        np_calls=Bound(const=0),
+        sigma2_dispatches=Bound(const=0),
+        nodes=Bound(const=0),
+        max_sigma2_depth=0,
+    ),
+    "hcf": CellEnvelope(
+        np_calls=Bound(const=32, per_atom=32),
+        sigma2_dispatches=Bound(const=0),
+        max_sigma2_depth=0,
+    ),
+}
+
 
 class Certifier:
     """Checks per-query observations against the paper's tables.
@@ -314,12 +352,21 @@ class Certifier:
         task: Task,
         regime: Regime,
         engine: str,
+        plan=None,
     ) -> Optional[CellEnvelope]:
-        """The enforced envelope, or ``None`` if out of scope."""
+        """The enforced envelope, or ``None`` if out of scope.
+
+        A ``planned``-engine query with a fragment fast path gets the
+        *tightened* :data:`FRAGMENT_ENVELOPES` entry instead of its
+        table cell's — the fragment's class, enforced."""
         if engine == "brute":
             return _BRUTE_ENVELOPE
         if engine not in ORACLE_ENGINES:
             return None
+        if engine == "planned" and plan is not None:
+            key = getattr(plan, "envelope_key", None)
+            if key is not None:
+                return FRAGMENT_ENVELOPES[key]
         name = canonical_name(semantics)
         override = ENVELOPE_OVERRIDES.get((name, task, regime))
         if override is not None:
@@ -336,12 +383,14 @@ class Certifier:
         observation: OracleObservation,
         engine: str,
         span=None,
+        plan=None,
     ) -> ComplexityCertificate:
-        """Score one query's observation against its table cell."""
+        """Score one query's observation against its table cell (or,
+        for a planned fast path, the tightened fragment envelope)."""
         regime = self.classify(db)
         name = canonical_name(semantics)
         claim = self.claim_for(name, task, regime)
-        envelope = self.envelope_for(name, task, regime, engine)
+        envelope = self.envelope_for(name, task, regime, engine, plan=plan)
         atoms = len(db.vocabulary)
         certificate = ComplexityCertificate(
             semantics=name,
@@ -353,6 +402,7 @@ class Certifier:
             observation=observation,
             atoms=atoms,
             certified=envelope is not None,
+            plan=plan,
         )
         if envelope is None:
             return certificate

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..logic.formula import Formula, Not
+from ..runtime.budget import check_deadline
 from ..sat.solver import SatSolver
 from .formula import QBF2, substitute
 
@@ -48,7 +49,10 @@ def _counterexample(
     Returns ``(assignment_or_None, sat_calls)``.
     """
     reduced = substitute(matrix, outer)
-    solver = SatSolver()
+    # Bare-formula one-shot over a substituted matrix: there is no
+    # database context to pool on, and the reduced formula differs every
+    # call, so a throwaway solver is the right shape here.
+    solver = SatSolver()  # lint: ok RPR001 -- bare CNF, no db context
     for atom in sorted(inner_atoms):
         solver.variables.intern(atom)
     solver.add_formula(Not(reduced))
@@ -63,11 +67,15 @@ def solve_exists_forall_cegar(qbf: QBF2) -> Qbf2Result:
     assert qbf.exists_first
     x_atoms = sorted(qbf.x)
     y_atoms = sorted(qbf.y)
-    abstraction = SatSolver()
+    # The abstraction accumulates refinements *permanently* across the
+    # CEGAR loop — a bare monotone solver, with no database to key a
+    # pool entry on.
+    abstraction = SatSolver()  # lint: ok RPR001 -- bare CNF, no db context
     for atom in x_atoms:
         abstraction.variables.intern(atom)
     sat_calls = 0
     while True:
+        check_deadline()
         sat_calls += 1
         if not abstraction.solve():
             return Qbf2Result(False, None, sat_calls)
@@ -114,7 +122,7 @@ def solve_qbf2_brute(qbf: QBF2) -> Qbf2Result:
                 return Qbf2Result(True, outer, sat_calls)
         else:
             reduced = substitute(qbf.matrix, outer)
-            inner_solver = SatSolver()
+            inner_solver = SatSolver()  # lint: ok RPR001 -- bare CNF, no db context
             for atom in y_atoms:
                 inner_solver.variables.intern(atom)
             inner_solver.add_formula(reduced)

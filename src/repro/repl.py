@@ -164,9 +164,9 @@ class Repl:
                 self._print(f"{atom} is not possibly true (no derivation)")
 
     def _cmd_stratify(self, _argument: str) -> None:
-        from .semantics.stratification import stratify
+        from .engine.cache import stratification_for
 
-        stratification = stratify(self.db)
+        stratification = stratification_for(self.db)
         if stratification is None:
             self._print("not stratified")
             return

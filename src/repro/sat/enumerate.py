@@ -14,6 +14,7 @@ from ..logic.cnf import Cnf, cnf_atoms
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula
 from ..logic.interpretation import Interpretation
+from ..runtime.budget import check_deadline
 from .incremental import pooled_scope
 
 
@@ -76,6 +77,7 @@ def iter_models(
             scope.add_formula(formula)
         produced = 0
         while max_models is None or produced < max_models:
+            check_deadline()
             if not scope.solve():
                 return
             model = scope.model(restrict_to=project_atoms)

@@ -343,6 +343,7 @@ class MinimalModelSolver(_PooledSolverMixin):
         scopes carrying the strictness clause."""
         current = model
         while True:
+            check_deadline()
             if not current:
                 return current
             with searcher.scope() as step:
@@ -513,6 +514,7 @@ class PZMinimalModelSolver(_PooledSolverMixin):
                     ]
                     with self._inc.scope() as extension:
                         while True:
+                            check_deadline()
                             self.sat_calls += 1
                             if not extension.solve(base):
                                 break

@@ -231,6 +231,13 @@ def find_model(
     return solver.model(restrict_to=db.vocabulary)
 
 
+def formula_is_satisfiable(formula: Formula) -> bool:
+    """One-shot satisfiability of a formula (via one SAT call)."""
+    solver = SatSolver()
+    solver.add_formula(formula)
+    return solver.solve()
+
+
 def formula_is_valid(formula: Formula) -> bool:
     """Classical validity of a formula (via one UNSAT call)."""
     solver = SatSolver()

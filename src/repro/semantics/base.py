@@ -50,12 +50,16 @@ from ..obs.accounting import observe as _observe
 from ..obs.metrics import METRICS
 
 #: Valid engine names accepted by :func:`get_semantics`.
-ENGINES = ("oracle", "fresh", "brute", "cached", "resilient")
+ENGINES = ("oracle", "fresh", "brute", "cached", "resilient", "planned")
 
-#: Engines concrete semantics classes implement directly ("cached" and
-#: "resilient" are wrappers realized by :mod:`repro.engine`).  "fresh"
-#: runs the oracle decision procedures with pooling disabled.
+#: Engines concrete semantics classes implement directly ("cached",
+#: "resilient" and "planned" are wrappers realized by
+#: :mod:`repro.engine` / :mod:`repro.analysis`).  "fresh" runs the
+#: oracle decision procedures with pooling disabled.
 CONCRETE_ENGINES = ("oracle", "fresh", "brute")
+
+#: Engine names realized as wrapper façades over an oracle instance.
+WRAPPER_ENGINES = ("cached", "resilient", "planned")
 
 
 #: The shared entry points every semantics class exposes; these are the
@@ -190,7 +194,7 @@ class Semantics(ABC):
         _instrument_class(cls)
 
     def __init__(self, engine: str = "oracle"):
-        if engine in ("cached", "resilient"):
+        if engine in WRAPPER_ENGINES:
             raise ReproError(
                 f"engine={engine!r} is a wrapper; obtain it via "
                 f"get_semantics(name, engine={engine!r}) or a session"
@@ -325,6 +329,14 @@ def get_semantics(name: str, **kwargs) -> Semantics:
     process-wide memoizing engine
     (:class:`~repro.engine.cached.CachedSemantics`).
 
+    ``engine="planned"`` returns the oracle instance wrapped in the
+    fragment planner
+    (:class:`~repro.analysis.planner.PlannedSemantics`): every query is
+    dispatched to the cheapest procedure sound for the database's
+    syntactic fragment (Horn ⇒ zero-SAT unit propagation,
+    head-cycle-free ⇒ NP-level foundedness machine, otherwise the
+    oracle procedures verbatim).
+
     ``engine="resilient"`` returns the oracle instance wrapped in the
     deadline-governed, fault-tolerant engine
     (:class:`~repro.engine.resilient.ResilientSemantics`), with the brute
@@ -351,6 +363,13 @@ def get_semantics(name: str, **kwargs) -> Semantics:
             **{**kwargs, "engine": "oracle"}
         )
         return CachedSemantics(inner)
+    if engine == "planned":
+        from ..analysis.planner import PlannedSemantics
+
+        inner = SEMANTICS[resolve_name(name)](
+            **{**kwargs, "engine": "oracle"}
+        )
+        return PlannedSemantics(inner)
     if engine == "resilient":
         from ..engine.resilient import ResilientSemantics
 

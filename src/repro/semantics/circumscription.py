@@ -21,6 +21,7 @@ from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation
 from ..logic.transform import rename_atoms
+from ..runtime.budget import check_deadline
 from ..sat.enumerate import iter_models
 from ..sat.incremental import pooled_scope
 from .base import ground_query, register
@@ -166,6 +167,7 @@ class Circumscription(PartitionedSemantics):
         ) as searcher:
             searcher.add_formula(Not(formula))
             while True:
+                check_deadline()
                 if not searcher.solve():
                     return True
                 candidate = searcher.model(restrict_to=db.vocabulary)

@@ -186,7 +186,7 @@ def cwa_consistent_theta(
 
 
 @register
-class Cwa(Semantics):
+class Cwa(Semantics):  # lint: ok RPR005 -- baseline outside Tables 1/2
     """Reiter's CWA as a semantics (beyond the paper's tables; Section
     3.1 background).  The selected models are the models of the closure —
     at most one for consistent closures of nondisjunctive databases, and

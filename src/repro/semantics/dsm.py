@@ -24,6 +24,7 @@ from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation, all_interpretations
 from ..logic.transform import gl_reduct
+from ..runtime.budget import check_deadline
 from ..sat.incremental import pooled_scope
 from ..sat.minimal import MinimalModelSolver
 from .base import Semantics, ground_query, register
@@ -94,6 +95,7 @@ class Dsm(Semantics):
             if condition is not None:
                 searcher.add_formula(condition)
             while True:
+                check_deadline()
                 if not searcher.solve():
                     return
                 candidate = searcher.model(restrict_to=db.vocabulary)

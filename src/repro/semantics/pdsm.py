@@ -49,6 +49,7 @@ from ..logic.interpretation import (
     all_three_valued,
 )
 from ..logic.transform import three_valued_reduct
+from ..runtime.budget import check_deadline
 from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
 
@@ -277,6 +278,7 @@ class Pdsm(Semantics):
             if condition is not None:
                 searcher.add_formula(condition)
             while True:
+                check_deadline()
                 if not searcher.solve():
                     return
                 raw = searcher.model(restrict_to=encoding_atoms)

@@ -37,6 +37,7 @@ from ..logic.atoms import Literal
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation
+from ..runtime.budget import check_deadline
 from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
 
@@ -225,6 +226,7 @@ class Perf(Semantics):
             if condition is not None:
                 searcher.add_formula(condition)
             while True:
+                check_deadline()
                 if not searcher.solve():
                     return
                 candidate = searcher.model(restrict_to=db.vocabulary)

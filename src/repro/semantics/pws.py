@@ -35,6 +35,7 @@ from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation
 from ..logic.transform import split_count, split_programs
+from ..runtime.budget import check_deadline
 from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
 from .ddr import possibly_true_atoms
@@ -124,6 +125,7 @@ class Pws(Semantics):
             if condition is not None:
                 solver.add_formula(condition)
             while True:
+                check_deadline()
                 if not solver.solve():
                     return
                 candidate = solver.model(restrict_to=db.vocabulary)

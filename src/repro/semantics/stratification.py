@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..errors import NotStratifiedError
+from ..errors import NotStratifiedError, ReproError
 from ..logic.database import DisjunctiveDatabase
 
 #: Edge kinds in the dependency graph.
@@ -127,8 +127,21 @@ class Stratification:
         return len(self.strata)
 
     def level(self, atom: str) -> int:
-        """The (0-based) stratum index of ``atom``."""
-        return self._level[atom]
+        """The (0-based) stratum index of ``atom``.
+
+        Raises :class:`~repro.errors.ReproError` (not a bare
+        ``KeyError``) for atoms outside the stratified vocabulary, so
+        callers holding a stratification of the *wrong database* get an
+        actionable message instead of a key dump."""
+        try:
+            return self._level[atom]
+        except KeyError:
+            known = ", ".join(sorted(self._level)) or "<empty vocabulary>"
+            raise ReproError(
+                f"atom {atom!r} is not part of this stratification "
+                f"(stratified atoms: {known}); was the stratification "
+                f"computed for a different database?"
+            ) from None
 
     def clause_level(self, clause) -> int:
         """The stratum of a clause = the (common) stratum of its head; for
@@ -200,8 +213,13 @@ def stratify(
 
 
 def require_stratification(db: DisjunctiveDatabase) -> Stratification:
-    """Stratify or raise :class:`~repro.errors.NotStratifiedError`."""
-    stratification = stratify(db)
+    """Stratify or raise :class:`~repro.errors.NotStratifiedError`.
+
+    Memoized per database via the engine cache — repeated calls (ICWA
+    issues one per entry point) pay the SCC pass once."""
+    from ..engine.cache import stratification_for
+
+    stratification = stratification_for(db)
     if stratification is None:
         raise NotStratifiedError(
             "database has a dependency cycle through negation"
@@ -210,5 +228,7 @@ def require_stratification(db: DisjunctiveDatabase) -> Stratification:
 
 
 def is_stratified(db: DisjunctiveDatabase) -> bool:
-    """Whether the database is a DSDB."""
-    return stratify(db) is not None
+    """Whether the database is a DSDB (memoized per database)."""
+    from ..engine.cache import stratification_for
+
+    return stratification_for(db) is not None

@@ -28,6 +28,7 @@ from ..errors import NotPositiveError
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Iff, Not, Var, conj, disj
 from ..logic.interpretation import Interpretation
+from ..runtime.budget import check_deadline
 from ..sat.enumerate import blocking_clause
 from ..sat.incremental import pooled_scope
 from .base import Semantics, ground_query, register
@@ -116,7 +117,7 @@ def is_tight(db: DisjunctiveDatabase) -> bool:
 
 
 @register
-class Supported(Semantics):
+class Supported(Semantics):  # lint: ok RPR005 -- comparison semantics, no table row
     """Supported models = models of the Clark completion (for NLPs)."""
 
     name = "supported"
@@ -154,6 +155,7 @@ class Supported(Semantics):
         found = []
         with self._completion_scope(db) as sat:
             while True:
+                check_deadline()
                 if not sat.solve():
                     break
                 model = sat.model(restrict_to=project)

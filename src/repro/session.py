@@ -63,6 +63,10 @@ class Answer:
         complexity: the Table 1/Table 2 complexity certificate for this
             query — the observation scored against the claimed class
             (``None`` for queries outside the tables, e.g. brave mode).
+        plan: for ``engine="planned"`` sessions, the
+            :class:`~repro.analysis.planner.QueryPlan` the fragment
+            planner chose for this query — which procedure ran and the
+            complexity class it claims (``None`` on other engines).
     """
 
     verdict: bool
@@ -73,6 +77,7 @@ class Answer:
     solver_stats: Optional[Dict[str, int]] = None
     observation: Optional[OracleObservation] = None
     complexity: Optional[ComplexityCertificate] = None
+    plan: Optional[object] = None
 
     def __bool__(self) -> bool:
         return self.verdict
@@ -86,6 +91,8 @@ class Answer:
             text += f"\n  counter-model: {self.certificate.model}"
         if self.complexity is not None and not self.complexity.ok:
             text += f"\n  complexity: {self.complexity.render()}"
+        if self.plan is not None:
+            text += f"\n  plan: {self.plan.render()}"
         return text
 
 
@@ -101,7 +108,13 @@ class DatabaseSession:
             sessions over structurally equal databases — are answered
             from cache; ``"resilient"`` runs every query under the
             session budget with retry/fallback degradation
-            (:mod:`repro.engine.resilient`).
+            (:mod:`repro.engine.resilient`); ``"planned"`` routes each
+            query through the fragment planner
+            (:mod:`repro.analysis`), which dispatches Horn and
+            head-cycle-free databases to cheaper sound procedures and
+            records the chosen :class:`~repro.analysis.planner.QueryPlan`
+            on the answer — with the certifier's envelope *tightened*
+            to the fragment's class.
         budget: resource limits for ``engine="resilient"`` sessions
             (wall-clock ms, SAT calls, nodes); rejected for other
             engines, where nothing would enforce it.
@@ -181,8 +194,12 @@ class DatabaseSession:
         method: str,
         window: OracleObservation,
         span,
+        plan=None,
     ) -> Optional[ComplexityCertificate]:
-        """Score one query observation against its Table 1/2 cell.
+        """Score one query observation against its Table 1/2 cell — or,
+        when the fragment planner took a fast path, against the
+        *tightened* fragment envelope (a Horn query that issued even one
+        NP call is a violation).
 
         Returns ``None`` when certification is disabled or the entry
         point has no table cell; a strict certifier raises
@@ -195,6 +212,7 @@ class DatabaseSession:
             return None
         certificate = self.certifier.check(
             engine.name, task, self.db, window, self.engine, span=span,
+            plan=plan,
         )
         self.certificates_checked += 1
         if not certificate.ok:
@@ -233,12 +251,15 @@ class DatabaseSession:
                     verdict = engine.infers_brave(self.db, formula)
                 else:
                     raise ValueError(f"unknown mode {mode!r}")
+            plan = getattr(engine, "last_plan", None)
             complexity = (
-                self._certify(engine, "infers", window, span)
+                self._certify(engine, "infers", window, span, plan=plan)
                 if mode == "cautious"
                 else None
             )
             span.set_attributes(verdict=verdict, sat_calls=counter.calls)
+            if plan is not None:
+                span.set_attribute("plan", plan.procedure)
         solver_delta = self._solver_delta(
             solver_before, SOLVER_POOL.core_stats()
         )
@@ -270,6 +291,7 @@ class DatabaseSession:
             solver_stats=solver_delta,
             observation=window,
             complexity=complexity,
+            plan=plan,
         )
 
     def ask_literal(
@@ -290,10 +312,13 @@ class DatabaseSession:
         ) as span:
             with observe() as window, count_sat_calls() as counter:
                 verdict = engine.infers_literal(self.db, literal)
+            plan = getattr(engine, "last_plan", None)
             complexity = self._certify(
-                engine, "infers_literal", window, span
+                engine, "infers_literal", window, span, plan=plan
             )
             span.set_attributes(verdict=verdict, sat_calls=counter.calls)
+            if plan is not None:
+                span.set_attribute("plan", plan.procedure)
         solver_delta = self._solver_delta(
             solver_before, SOLVER_POOL.core_stats()
         )
@@ -310,6 +335,7 @@ class DatabaseSession:
             solver_stats=solver_delta,
             observation=window,
             complexity=complexity,
+            plan=plan,
         )
 
     def models(self, semantics: Optional[str] = None) -> FrozenSet:
@@ -326,7 +352,8 @@ class DatabaseSession:
         ) as span:
             with observe() as window:
                 verdict = engine.has_model(self.db)
-            self._certify(engine, "has_model", window, span)
+            plan = getattr(engine, "last_plan", None)
+            self._certify(engine, "has_model", window, span, plan=plan)
             span.set_attribute("verdict", verdict)
         return verdict
 

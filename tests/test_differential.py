@@ -1,13 +1,16 @@
-"""Differential test harness: cached vs. oracle vs. fresh vs. brute.
+"""Differential test harness: planned vs. cached vs. oracle vs. fresh
+vs. brute.
 
 Seeded random databases from :mod:`repro.workloads.random_db`, one batch
 per syntactic regime, are cross-checked across every registered paper
 semantics applicable to that regime: the memoizing ``cached`` engine,
 the pooled incremental ``oracle`` decision procedures, the identical
-procedures on throwaway ``fresh`` solvers, and the ``brute``
-ground-truth enumerator must agree on ``model_set``, ``infers`` (on a
-seeded random query formula), ``infers_literal`` (both polarities) and
-``has_model``.
+procedures on throwaway ``fresh`` solvers, the fragment-dispatching
+``planned`` engine (Horn unit propagation / head-cycle-free foundedness
+fast paths where the profile allows, oracle fallback elsewhere), and the
+``brute`` ground-truth enumerator must agree on ``model_set``,
+``infers`` (on a seeded random query formula), ``infers_literal`` (both
+polarities) and ``has_model``.
 
 The generators are deterministic given a seed (see
 ``test_random_db_determinism.py``), so any disagreement reproduces
@@ -74,23 +77,27 @@ def build_db(regime: str, seed: int):
 
 def engines(name: str):
     """(brute ground truth, pooled oracle, fresh-solver oracle,
-    memoizing cached)."""
+    memoizing cached, fragment-planned)."""
     return (
         get_semantics(name, engine="brute"),
         get_semantics(name, engine="oracle"),
         get_semantics(name, engine="fresh"),
         get_semantics(name, engine="cached"),
+        get_semantics(name, engine="planned"),
     )
 
 
 def check_agreement(db, names, query_seed: int = 0) -> None:
-    """Assert four-engine agreement on every decision problem.
+    """Assert five-engine agreement on every decision problem.
 
     ``oracle`` runs the decision procedures on pooled incremental
     solvers, ``fresh`` runs the identical procedures on throwaway
     per-query solvers — their agreement pins the solver-reuse layer
     (selector retraction, clause reclamation, recycling) to the
     fresh-solver ground truth on every database of the corpus.
+    ``planned`` additionally pins the fragment fast paths (Horn least
+    model, head-cycle-free foundedness) to the same ground truth on
+    every database whose profile triggers them.
     """
     query = random_query_formula(
         sorted(db.vocabulary), depth=2, seed=query_seed
