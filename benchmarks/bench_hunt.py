@@ -1,0 +1,90 @@
+"""Benchmarks for the adversarial scenario factory.
+
+Quantifies the cost model the hunter's budgets are tuned against:
+cases-per-second of the full differential pipeline, the incremental
+price of each mutator family, and one end-to-end minimization.
+
+Run with::
+
+    pytest benchmarks/bench_hunt.py --benchmark-only
+"""
+
+import pytest
+
+from repro.adversary import HuntConfig, hunt, minimize_database
+from repro.adversary.mutators import MUTATORS_BY_NAME
+from repro.analysis.fragment import fragment_profile
+from repro.workloads import random_horn_db, random_positive_db
+
+import random
+
+
+# ----------------------------------------------------------------------
+# The full pipeline: mutate -> differential -> certify
+# ----------------------------------------------------------------------
+def test_hunt_throughput_small(benchmark):
+    """25 cases of the default hunt (the CI smoke configuration)."""
+
+    def run():
+        return hunt(HuntConfig(seed=17, max_cases=25, budget_ms=None))
+
+    report = benchmark(run)
+    assert report.clean
+
+
+@pytest.mark.parametrize(
+    "mutator", ["rename", "tautology_pad", "body_split", "widen_head"]
+)
+def test_hunt_throughput_per_mutator(benchmark, mutator):
+    """The same loop restricted to one mutator isolates its cost."""
+
+    def run():
+        return hunt(
+            HuntConfig(
+                seed=17, max_cases=15, budget_ms=None,
+                mutators=(mutator,),
+            )
+        )
+
+    report = benchmark(run)
+    assert report.clean
+
+
+# ----------------------------------------------------------------------
+# Components in isolation
+# ----------------------------------------------------------------------
+def test_mutation_only_throughput(benchmark):
+    """Pure mutation cost (no engines): the catalogue on 50 databases."""
+    dbs = [random_positive_db(4, 5, seed=s) for s in range(50)]
+    catalogue = [
+        MUTATORS_BY_NAME[n]
+        for n in ("rename", "reorder", "duplicate", "tautology_pad")
+    ]
+
+    def run():
+        produced = 0
+        for index, db in enumerate(dbs):
+            profile = fragment_profile(db)
+            rng = random.Random(index)
+            for mutator in catalogue:
+                if mutator.applicable(db, profile):
+                    if mutator.apply(db, rng) is not None:
+                        produced += 1
+        return produced
+
+    assert benchmark(run) > 0
+
+
+def test_minimization_cost(benchmark):
+    """Delta-debugging a 12-clause Horn database down to one clause."""
+    db = random_horn_db(6, 12, seed=5)
+    target = sorted(db.vocabulary)[0]
+
+    def predicate(candidate):
+        return any(target in c.atoms for c in candidate.clauses)
+
+    def run():
+        return minimize_database(db, predicate, seed=0)
+
+    result = benchmark(run)
+    assert len(result.db.clauses) == 1

@@ -1,0 +1,138 @@
+"""Markdown diagnosis reports for hunted divergences.
+
+Every :class:`~repro.adversary.hunter.Divergence` renders to a
+self-contained markdown report: what broke, the 1-minimal witness, the
+disagreeing answers side by side, the witness's fragment profile, the
+per-engine oracle-call accounting, and — crucially — the exact seed line
+that reproduces the case from scratch.  CI uploads ``reports/*.md`` as
+artifacts so a nightly failure arrives pre-triaged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import TYPE_CHECKING, List
+
+from ..analysis.fragment import fragment_profile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .hunter import Divergence
+
+#: Columns of the oracle-accounting table (OracleObservation fields).
+_OBS_FIELDS = ("np_calls", "sigma2_dispatches", "nodes", "max_sigma2_depth")
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-") or "case"
+
+
+def report_filename(divergence: "Divergence") -> str:
+    case = divergence.case.get("case", "x")
+    return (
+        f"divergence-{_slug(divergence.kind)}-"
+        f"seed{divergence.case.get('seed', 0)}-case{case}-"
+        f"{_slug(divergence.semantics)}.md"
+    )
+
+
+def _db_block(title: str, text: str) -> List[str]:
+    return [f"### {title}", "", "```prolog", text.rstrip("\n"), "```", ""]
+
+
+def render_diagnosis(divergence: "Divergence") -> str:
+    """The full markdown diagnosis for one divergence."""
+    case = divergence.case
+    profile = fragment_profile(divergence.db)
+    lines: List[str] = [
+        f"# Divergence: {divergence.kind}",
+        "",
+        "| field | value |",
+        "| --- | --- |",
+        f"| kind | `{divergence.kind}` |",
+        f"| semantics | `{divergence.semantics}` |",
+        f"| method | `{divergence.method}` |",
+    ]
+    if divergence.query:
+        lines.append(f"| query | `{divergence.query}` |")
+    lines += [
+        f"| mutator | `{case.get('mutator')}` |",
+        f"| regime | `{case.get('regime')}` |",
+        f"| hunt seed | `{case.get('seed')}` / case `{case.get('case')}` |",
+        f"| witness size | {len(divergence.db.clauses)} clause(s), "
+        f"{len(divergence.db.vocabulary)} atom(s) |",
+        f"| fragment | `{profile.fragment}` |",
+        "",
+    ]
+    if divergence.detail:
+        lines += ["> " + divergence.detail, ""]
+
+    lines += [
+        "## Reproduction",
+        "",
+        "Re-run the single originating case (the hunt is a pure function",
+        "of its seed, so case indices are stable):",
+        "",
+        "```sh",
+        f"repro-ddb hunt --seed {case.get('seed', 0)} "
+        f"--max-cases {int(case.get('case', 0)) + 1}",
+        "```",
+        "",
+        "Seed line:",
+        "",
+        "```json",
+        json.dumps(case, indent=2, sort_keys=True),
+        "```",
+        "",
+        "## Disagreement",
+        "",
+        "| side | answer |",
+        "| --- | --- |",
+    ]
+    for side, answer in divergence.answers.items():
+        marker = " (ground truth)" if side == "brute" else ""
+        rendered = answer.replace("|", "\\|").replace("\n", " ")
+        lines.append(f"| `{side}`{marker} | `{rendered}` |")
+    lines.append("")
+
+    lines += ["## Minimized witness", ""]
+    if divergence.minimization is not None:
+        lines += [divergence.minimization.render(), ""]
+    lines += _db_block("Witness database", str(divergence.db))
+
+    lines += [
+        "## Fragment profile",
+        "",
+        "```",
+        profile.render().rstrip("\n"),
+        "```",
+        "",
+    ]
+
+    if divergence.observations:
+        lines += [
+            "## Oracle-call accounting (on the minimized witness)",
+            "",
+            "| engine | " + " | ".join(_OBS_FIELDS) + " |",
+            "| --- |" + " --- |" * len(_OBS_FIELDS),
+        ]
+        for engine, obs in divergence.observations.items():
+            cells = " | ".join(str(obs.get(f, 0)) for f in _OBS_FIELDS)
+            lines.append(f"| `{engine}` | {cells} |")
+        lines.append("")
+
+    if divergence.original_db.clauses != divergence.db.clauses:
+        lines += _db_block(
+            "Original (unminimized) database", str(divergence.original_db)
+        )
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def write_diagnosis_report(divergence: "Divergence", directory: str) -> str:
+    """Write the diagnosis markdown under ``directory``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, report_filename(divergence))
+    with open(path, "w") as handle:
+        handle.write(render_diagnosis(divergence))
+    return path

@@ -27,12 +27,18 @@ Table 1/2 row.  Run it as ``python -m repro.analysis.lint`` or
 ``repro-ddb lint``.
 """
 
-from .fragment import FragmentAnalyzer, FragmentProfile, fragment_profile
+from .fragment import (
+    FragmentAnalyzer,
+    FragmentProfile,
+    fragment_of,
+    fragment_profile,
+)
 from .planner import FragmentPlanner, PlannedSemantics, QueryPlan
 
 __all__ = [
     "FragmentAnalyzer",
     "FragmentProfile",
+    "fragment_of",
     "fragment_profile",
     "FragmentPlanner",
     "PlannedSemantics",

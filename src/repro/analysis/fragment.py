@@ -245,3 +245,10 @@ def fragment_profile(db: DisjunctiveDatabase) -> FragmentProfile:
     from ..engine.cache import fragment_profile_for
 
     return fragment_profile_for(db)
+
+
+def fragment_of(db: DisjunctiveDatabase) -> str:
+    """The lattice cell of ``db`` alone (memoized via the profile) —
+    for callers that classify without needing the full census, e.g. the
+    adversarial hunter's boundary checks and diagnosis reports."""
+    return fragment_profile(db).fragment

@@ -405,6 +405,30 @@ def _cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def _cmd_hunt(args) -> int:
+    import json as _json
+
+    from .adversary import DEFAULT_CORPUS_PATH, HuntConfig, hunt
+
+    corpus_path = args.corpus or DEFAULT_CORPUS_PATH
+    config = HuntConfig(
+        seed=args.seed,
+        max_cases=args.max_cases,
+        budget_ms=args.budget_ms,
+        base_atoms=args.atoms,
+        base_clauses=args.clauses,
+        mutators=tuple(args.mutators.split(",")) if args.mutators else None,
+        reports_dir=args.reports_dir,
+        corpus_path=corpus_path if args.fold else None,
+    )
+    report = hunt(config)
+    if args.format == "json":
+        print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for every repro-ddb subcommand."""
     parser = argparse.ArgumentParser(
@@ -715,6 +739,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the rule catalog and exit",
     )
     lint_cmd.set_defaults(handler=_cmd_lint)
+
+    hunt_cmd = commands.add_parser(
+        "hunt",
+        help=(
+            "adversarial divergence hunt: mutate random databases and "
+            "cross-check the five-engine differential stack"
+        ),
+    )
+    hunt_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed (the hunt is a pure function of it)",
+    )
+    hunt_cmd.add_argument(
+        "--max-cases", type=int, default=200,
+        help="number of mutated databases to try",
+    )
+    hunt_cmd.add_argument(
+        "--budget-ms", type=float, default=60000.0,
+        help="wall-clock ceiling for the whole hunt (ms)",
+    )
+    hunt_cmd.add_argument(
+        "--atoms", type=int, default=4, help="base-database vocabulary size"
+    )
+    hunt_cmd.add_argument(
+        "--clauses", type=int, default=5, help="base-database clause count"
+    )
+    hunt_cmd.add_argument(
+        "--mutators",
+        help="comma-separated mutator names (default: the full catalogue)",
+    )
+    hunt_cmd.add_argument(
+        "--reports-dir", default="reports",
+        help="directory for markdown diagnosis reports",
+    )
+    hunt_cmd.add_argument(
+        "--corpus",
+        default=None,
+        help=(
+            "corpus file to fold survivors into "
+            "(default: tests/data/adversarial_corpus.json)"
+        ),
+    )
+    hunt_cmd.add_argument(
+        "--fold", action="store_true",
+        help="fold minimized survivors into the regression corpus",
+    )
+    hunt_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    hunt_cmd.set_defaults(handler=_cmd_hunt)
 
     return parser
 

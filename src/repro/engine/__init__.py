@@ -45,7 +45,29 @@ from .parallel import (
 )
 from .resilient import ResilientSemantics, RetryPolicy
 
+#: Engine order of the differential stack.  The brute enumerator comes
+#: first — it is the ground truth the others are judged against.
+DIFFERENTIAL_ENGINES = ("brute", "oracle", "fresh", "cached", "planned")
+
+
+def differential_stack(name: str, engines=DIFFERENTIAL_ENGINES):
+    """One semantics instance per differential engine, brute first.
+
+    The canonical cross-checking stack shared by
+    ``tests/test_differential.py`` and the adversarial hunter
+    (:mod:`repro.adversary.hunter`): every answer the oracle-, cache-
+    and planner-backed engines give is compared against the brute
+    enumerator's.
+    """
+    from ..semantics import get_semantics  # deferred: avoids the
+    # semantics -> engine import cycle at module-load time
+
+    return tuple(get_semantics(name, engine=engine) for engine in engines)
+
+
 __all__ = [
+    "DIFFERENTIAL_ENGINES",
+    "differential_stack",
     "DEFAULT_MAXSIZE",
     "ENGINE_CACHE",
     "EngineCache",

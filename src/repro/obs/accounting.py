@@ -82,6 +82,15 @@ class OracleObservation:
             "max_sigma2_depth": self.max_sigma2_depth,
         }
 
+    def render(self) -> str:
+        """One-line human rendering (diagnosis reports, CLI summaries)."""
+        return (
+            f"np_calls={self.np_calls} "
+            f"sigma2_dispatches={self.sigma2_dispatches} "
+            f"nodes={self.nodes} "
+            f"max_sigma2_depth={self.max_sigma2_depth}"
+        )
+
 
 class _Window:
     __slots__ = ("start_np", "start_sigma2", "start_nodes", "max_depth")

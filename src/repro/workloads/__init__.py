@@ -12,6 +12,7 @@ from .families import (
 )
 from .random_db import (
     random_deductive_db,
+    random_horn_db,
     random_normal_db,
     random_positive_db,
     random_stratified_db,
@@ -42,6 +43,7 @@ __all__ = [
     "win_move_cycle",
     "win_move_path",
     "random_deductive_db",
+    "random_horn_db",
     "random_normal_db",
     "random_positive_db",
     "random_stratified_db",

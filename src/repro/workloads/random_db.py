@@ -68,6 +68,34 @@ def random_positive_db(
     return DisjunctiveDatabase(clauses, atoms)
 
 
+def random_horn_db(
+    num_atoms: int,
+    num_clauses: int,
+    max_body: int = 2,
+    seed: Seed = 0,
+    fact_fraction: float = 0.3,
+) -> DisjunctiveDatabase:
+    """A random *Horn* DDB (single-atom heads, positive bodies, no ICs).
+
+    The Horn cell is the fragment planner's polynomial fast path
+    (:func:`repro.analysis.procedures.horn_least_model`), so the
+    adversarial hunter draws base databases here both to exercise that
+    dispatch directly and to feed the barely-non-Horn boundary mutators.
+    """
+    rng = _rng(seed)
+    atoms = _atoms(num_atoms)
+    clauses: List[Clause] = []
+    for _ in range(num_clauses):
+        head = [rng.choice(atoms)]
+        if rng.random() < fact_fraction:
+            body: Sequence[str] = ()
+        else:
+            body_width = rng.randint(0, min(max_body, num_atoms))
+            body = [a for a in rng.sample(atoms, body_width) if a not in head]
+        clauses.append(Clause.rule(head, body))
+    return DisjunctiveDatabase(clauses, atoms)
+
+
 def random_deductive_db(
     num_atoms: int,
     num_clauses: int,

@@ -23,6 +23,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.adversary import DEFAULT_CORPUS_PATH, applicable_semantics
+from repro.adversary.corpus import corpus_databases
+from repro.engine import differential_stack
 from repro.engine.cache import ENGINE_CACHE
 from repro.logic.atoms import Literal
 from repro.semantics import get_semantics
@@ -78,13 +81,7 @@ def build_db(regime: str, seed: int):
 def engines(name: str):
     """(brute ground truth, pooled oracle, fresh-solver oracle,
     memoizing cached, fragment-planned)."""
-    return (
-        get_semantics(name, engine="brute"),
-        get_semantics(name, engine="oracle"),
-        get_semantics(name, engine="fresh"),
-        get_semantics(name, engine="cached"),
-        get_semantics(name, engine="planned"),
-    )
+    return differential_stack(name)
 
 
 def check_agreement(db, names, query_seed: int = 0) -> None:
@@ -156,6 +153,36 @@ def test_differential_stratified(seed):
 def test_differential_normal(seed):
     db = build_db("normal", seed)
     check_agreement(db, SEMANTICS_FOR["normal"], query_seed=seed)
+
+
+# ----------------------------------------------------------------------
+# The adversarial regression corpus: every witness the hunter ever
+# minimized and folded in (tests/data/adversarial_corpus.json) is
+# replayed across the full stack, so a bug class found once stays found.
+# ----------------------------------------------------------------------
+import os
+
+_CORPUS_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "adversarial_corpus.json"
+)
+_CORPUS = corpus_databases(_CORPUS_PATH)
+
+
+@pytest.mark.parametrize(
+    "db", [c[1] for c in _CORPUS], ids=[c[0] for c in _CORPUS]
+)
+def test_differential_adversarial_corpus(db):
+    names = [n for n in applicable_semantics(db) if n != "pdsm"]
+    if len(db.vocabulary) <= 5:
+        names = list(applicable_semantics(db))
+    check_agreement(db, names, query_seed=0)
+
+
+def test_corpus_default_path_matches():
+    """The checked-in corpus is where the hunter folds survivors to."""
+    assert DEFAULT_CORPUS_PATH.endswith(
+        os.path.join("tests", "data", "adversarial_corpus.json")
+    )
 
 
 # ----------------------------------------------------------------------
