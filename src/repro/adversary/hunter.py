@@ -294,6 +294,38 @@ def _brute_feasible(name: str, db: DisjunctiveDatabase) -> bool:
     return len(db.vocabulary) <= ceiling
 
 
+#: Over-sampling factor for boundary mutators when the base database
+#: sits in (or one edit from) a planner fast-path fragment.
+_BOUNDARY_WEIGHT = 3.0
+
+
+def _near_planner_fast_path(profile) -> bool:
+    """Does the cost-based planner have a specialized procedure in play
+    for this base?  Horn, HCF-deductive (founded machine / ff closure)
+    and stratified-normal (iterated least model) all qualify."""
+    return (
+        profile.is_horn
+        or (profile.negation_free and profile.head_cycle_free)
+        or (profile.is_stratified and profile.max_head_width <= 1)
+    )
+
+
+def _mutator_weights(
+    profile, candidates: Sequence[Mutator]
+) -> List[float]:
+    """Per-candidate draw weights: boundary mutators (barely-non-Horn,
+    barely-non-HCF, barely-unstratified) are over-sampled whenever the
+    base is in planner fast-path territory, so hunts spend their budget
+    where the cost model's never-worse-than-default rule and the
+    fragment fast paths are actually load-bearing."""
+    if not _near_planner_fast_path(profile):
+        return [1.0] * len(candidates)
+    return [
+        _BOUNDARY_WEIGHT if m.kind == "boundary" else 1.0
+        for m in candidates
+    ]
+
+
 def build_case(config: HuntConfig, index: int) -> Optional[Case]:
     """Construct case ``index`` of the hunt (``None`` = degenerate draw)."""
     rng = _case_rng(config.seed, index)
@@ -310,7 +342,9 @@ def build_case(config: HuntConfig, index: int) -> Optional[Case]:
     mutator: Optional[Mutator] = None
     mutation: Optional[MutationResult] = None
     if candidates:
-        mutator = rng.choice(sorted(candidates, key=lambda m: m.name))
+        pool = sorted(candidates, key=lambda m: m.name)
+        weights = _mutator_weights(profile, pool)
+        mutator = rng.choices(pool, weights=weights, k=1)[0]
         mutation = mutator.apply(base, rng)
         if mutation is None:
             mutator = None
@@ -355,6 +389,14 @@ def _safe(call, *args):
         return call(*args), None
     except Exception as exc:  # pragma: no cover - diagnostic path
         return None, f"{type(exc).__name__}: {exc}"
+
+
+def _ground_truth_capped(error: Optional[str]) -> bool:
+    """True when the brute engine refused an instance above its safety
+    bound (:class:`~repro.errors.GroundTruthCapError`) — the instance is
+    legal but ground truth is unavailable, so there is nothing to
+    compare the other engines against."""
+    return error is not None and error.startswith("GroundTruthCapError")
 
 
 def differential_answers(
@@ -402,6 +444,8 @@ def find_engine_disagreement(
     for method, argument in checks:
         args = () if argument is None else (argument,)
         expected, expected_error = _safe(getattr(brute, method), db, *args)
+        if _ground_truth_capped(expected_error):
+            continue  # instance legal but too large for brute — skip
         for instance in stack[1:]:
             value, error = _safe(getattr(instance, method), db, *args)
             if (value, error is None) != (expected, expected_error is None):
@@ -527,6 +571,8 @@ def _disagreement_predicate(name: str, method: str, argument):
         expected, expected_error = _safe(
             getattr(stack[0], method), candidate, *args
         )
+        if _ground_truth_capped(expected_error):
+            return False
         for instance in stack[1:]:
             value, error = _safe(
                 getattr(instance, method), candidate, *args

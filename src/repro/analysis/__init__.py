@@ -1,15 +1,20 @@
 """Static analysis, in two prongs.
 
 **Input analysis** (:mod:`repro.analysis.fragment`,
-:mod:`repro.analysis.planner`): classify a
+:mod:`repro.analysis.cost`, :mod:`repro.analysis.planner`): classify a
 :class:`~repro.logic.database.DisjunctiveDatabase` into the syntactic
-fragment lattice (definite ⊂ Horn ⊂ head-cycle-free deductive ⊂
-deductive ⊂ stratified ⊂ general) in one linear pass, then dispatch each
-(semantics, task) query to the cheapest procedure that is *sound* for
-that fragment — Horn collapses to a unit-propagation least-model path
-with zero SAT calls, head-cycle-free deductive databases replace the
-Σ₂ᵖ minimality primitive by a polynomial foundedness check (the
-Ben-Eliyahu–Dechter criterion).  The planner is exposed as
+fragment lattice (definite ⊂ Horn ⊂ acyclic-deductive ⊂ head-cycle-free
+deductive ⊂ deductive ⊂ stratified-normal ⊂ stratified ⊂ general) in
+one linear pass, then dispatch each (semantics, task) query to the
+*cheapest sound* procedure by calibrated cost comparison — every
+candidate gets a predicted NP-call / Σ₂ᵖ-dispatch / node estimate from
+the profile, and a specialized procedure is never chosen unless its
+estimate beats the default engine's.  Horn collapses to a
+unit-propagation least-model path with zero SAT calls, stratified
+normal databases to the iterated per-stratum least model,
+head-cycle-free deductive databases replace the Σ₂ᵖ minimality
+primitive by a polynomial foundedness check (the Ben-Eliyahu–Dechter
+criterion).  The planner is exposed as
 ``get_semantics(name, engine="planned")`` and through
 :class:`~repro.session.DatabaseSession`; the chosen
 :class:`~repro.analysis.planner.QueryPlan` is recorded on every
@@ -27,6 +32,7 @@ Table 1/2 row.  Run it as ``python -m repro.analysis.lint`` or
 ``repro-ddb lint``.
 """
 
+from .cost import COST_MODEL, CostEstimate, CostModel
 from .fragment import (
     FragmentAnalyzer,
     FragmentProfile,
@@ -36,6 +42,9 @@ from .fragment import (
 from .planner import FragmentPlanner, PlannedSemantics, QueryPlan
 
 __all__ = [
+    "COST_MODEL",
+    "CostEstimate",
+    "CostModel",
     "FragmentAnalyzer",
     "FragmentProfile",
     "fragment_of",

@@ -16,7 +16,17 @@ certifier and the CLI share one analysis.
 
 The fragment *lattice* (most specific first)::
 
-    definite ⊂ horn ⊂ hcf-deductive ⊂ deductive ⊂ stratified ⊂ general
+    definite ⊂ horn ⊂ acyclic-deductive ⊂ hcf-deductive ⊂ deductive
+             ⊂ stratified-normal ⊂ stratified ⊂ general
+
+The two refinements come from the trichotomy line of work
+(Truszczyński, arXiv 1007.2816): ``acyclic-deductive`` (negation-free
+with an *acyclic* positive dependency graph — trivially head-cycle-free,
+with singleton SCCs that keep the planner's search estimates small) and
+``stratified-normal`` (stratified with every head ≤ 1 atom — the unique
+perfect model is the unique stable model and is computable in P by the
+iterated per-stratum least model, see
+:func:`repro.analysis.procedures.stratified_perfect_model`).
 """
 
 from __future__ import annotations
@@ -32,8 +42,10 @@ from ..logic.database import DisjunctiveDatabase
 FRAGMENT_ORDER: Tuple[str, ...] = (
     "definite",
     "horn",
+    "acyclic-deductive",
     "hcf-deductive",
     "deductive",
+    "stratified-normal",
     "stratified",
     "general",
 )
@@ -61,6 +73,9 @@ class FragmentProfile:
         head_cycle_free: the Ben-Eliyahu–Dechter criterion — no two
             atoms sharing a disjunctive head lie in one SCC of the
             positive dependency graph.
+        positive_acyclic: the positive dependency graph has no cycle at
+            all (every SCC a singleton, no self-loop) — strictly finer
+            than head-cycle-freeness.
         scc_count / largest_scc: SCC census of the positive dependency
             graph (body→head edges; heads deliberately *not* tied,
             unlike the stratification graph).
@@ -83,6 +98,7 @@ class FragmentProfile:
     is_stratified: bool
     strata: int
     head_cycle_free: bool
+    positive_acyclic: bool
     scc_count: int
     largest_scc: int
 
@@ -93,10 +109,14 @@ class FragmentProfile:
             return "definite"
         if self.is_horn:
             return "horn"
+        if self.negation_free and self.positive_acyclic:
+            return "acyclic-deductive"
         if self.negation_free and self.head_cycle_free:
             return "hcf-deductive"
         if self.negation_free:
             return "deductive"
+        if self.is_stratified and self.max_head_width <= 1:
+            return "stratified-normal"
         if self.is_stratified:
             return "stratified"
         return "general"
@@ -122,6 +142,7 @@ class FragmentProfile:
             "is_stratified": self.is_stratified,
             "strata": self.strata,
             "head_cycle_free": self.head_cycle_free,
+            "positive_acyclic": self.positive_acyclic,
             "scc_count": self.scc_count,
             "largest_scc": self.largest_scc,
         }
@@ -178,7 +199,7 @@ class FragmentAnalyzer:
                 for body_atom in clause.body_pos:
                     adjacency[body_atom].append(head_atom)
 
-        scc_count, largest, hcf = self._head_cycle_analysis(
+        scc_count, largest, hcf, acyclic = self._head_cycle_analysis(
             db, adjacency, head_pairs
         )
         from ..engine.cache import stratification_for
@@ -202,6 +223,7 @@ class FragmentAnalyzer:
             is_stratified=stratification is not None,
             strata=0 if stratification is None else len(stratification),
             head_cycle_free=hcf,
+            positive_acyclic=acyclic,
             scc_count=scc_count,
             largest_scc=largest,
         )
@@ -211,9 +233,10 @@ class FragmentAnalyzer:
         db: DisjunctiveDatabase,
         adjacency: Dict[str, List[str]],
         head_pairs: List[Tuple[str, ...]],
-    ) -> Tuple[int, int, bool]:
-        """SCC census of the positive dependency graph, plus the
-        Ben-Eliyahu–Dechter head-cycle-freeness verdict."""
+    ) -> Tuple[int, int, bool, bool]:
+        """SCC census of the positive dependency graph, the
+        Ben-Eliyahu–Dechter head-cycle-freeness verdict, and outright
+        acyclicity (singleton SCCs and no self-loop)."""
         from ..semantics.stratification import _tarjan_sccs
 
         components = _tarjan_sccs(sorted(db.vocabulary), adjacency)
@@ -223,6 +246,9 @@ class FragmentAnalyzer:
             for atom in component
         }
         largest = max((len(c) for c in components), default=0)
+        acyclic = largest <= 1 and not any(
+            atom in targets for atom, targets in adjacency.items()
+        )
         hcf = True
         for head in head_pairs:
             seen: Dict[int, str] = {}
@@ -236,7 +262,7 @@ class FragmentAnalyzer:
                 seen[component] = atom
             if not hcf:
                 break
-        return len(components), largest, hcf
+        return len(components), largest, hcf, acyclic
 
 
 def fragment_profile(db: DisjunctiveDatabase) -> FragmentProfile:

@@ -1,6 +1,6 @@
 """Fragment-specialized decision procedures.
 
-Two machines back the planner's fast paths:
+Three machines back the planner's fast paths:
 
 * :func:`horn_least_model` — the unit-propagation fixpoint of a Horn
   database.  A consistent Horn database has a unique minimal model (its
@@ -17,6 +17,16 @@ Two machines back the planner's fast paths:
   complete for head-cycle-free ones, so on the ``hcf-deductive``
   fragment minimal-model entailment runs as an NP-level machine: plain
   SAT calls only, no Σ₂ᵖ dispatch is ever counted.
+
+* :func:`stratified_perfect_model` — the iterated per-stratum least
+  model of a stratified *normal* (head width ≤ 1) database.  On that
+  fragment the unique perfect model is the unique stable model
+  (Apt–Blair–Walker), so PERF/ICWA/DSM all select exactly it — another
+  pure-P cell, zero SAT calls, memoized like the Horn least model.
+
+The free-for-negation closure of the foundedness machine is memoized
+per database (:func:`hcf_free_atoms`), so a GCWA-style literal-closure
+workload pays the |V| founded searches once, not once per query.
 """
 
 from __future__ import annotations
@@ -91,6 +101,96 @@ def horn_least_model(
         _LEAST_MODEL_KIND, db, lambda: _compute_least_model(db)
     )
     return Interpretation(least), consistent
+
+
+#: Engine-cache kind for memoized perfect models.
+_PERFECT_MODEL_KIND = "stratified_perfect"
+
+#: Engine-cache kind for the memoized founded free-for-negation closure.
+_HCF_FF_KIND = "hcf_free_atoms"
+
+
+def _compute_perfect_model(
+    db: DisjunctiveDatabase,
+) -> Tuple[FrozenSet[str], bool]:
+    """``(iterated least model, consistency)`` of a stratified normal
+    database.
+
+    Strata are processed lowest first; within a stratum the definite
+    part is closed under a fixpoint with negative bodies evaluated
+    against the (settled) lower strata.  The database is consistent iff
+    no integrity clause has its positive body inside and its negative
+    body outside the resulting model.
+    """
+    from ..engine.cache import stratification_for
+
+    stratification = stratification_for(db)
+    if stratification is None:  # pragma: no cover - planner gates on it
+        raise SolverError("stratified_perfect_model on unstratifiable db")
+    derived: set = set()
+    for stratum in stratification.strata:
+        rules = [
+            (clause, tuple(clause.head)[0])
+            for clause in db.clauses
+            if clause.head and tuple(clause.head)[0] in stratum
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for clause, head_atom in rules:
+                if head_atom in derived:
+                    continue
+                if clause.body_pos <= derived and not (
+                    clause.body_neg & derived
+                ):
+                    derived.add(head_atom)
+                    changed = True
+    model = frozenset(derived)
+    consistent = all(
+        not (
+            clause.body_pos <= model
+            and not (clause.body_neg & model)
+        )
+        for clause in db.clauses
+        if clause.is_integrity
+    )
+    return model, consistent
+
+
+def stratified_perfect_model(
+    db: DisjunctiveDatabase,
+) -> Tuple[Interpretation, bool]:
+    """``(perfect model, consistent)`` of a stratified normal database,
+    memoized.
+
+    Callers must have established the gate (stratified, every head ≤ 1
+    atom — the planner checks the fragment profile); elsewhere the
+    result is meaningless.
+    """
+    from ..engine.cache import ENGINE_CACHE
+
+    model, consistent = ENGINE_CACHE.get_or_compute(
+        _PERFECT_MODEL_KIND, db, lambda: _compute_perfect_model(db)
+    )
+    return Interpretation(model), consistent
+
+
+def hcf_free_atoms(
+    db: DisjunctiveDatabase, reuse: bool = True
+) -> FrozenSet[str]:
+    """``ff(DB)`` by founded witness queries, memoized per database.
+
+    The closure is a property of the database alone, so one computation
+    serves every subsequent GCWA/CCWA-style query — the planner's
+    closure path amortizes to one classical SAT call per query.
+    """
+    from ..engine.cache import ENGINE_CACHE
+
+    def compute() -> FrozenSet[str]:
+        with HeadCycleFreeSolver(db, reuse=reuse) as solver:
+            return solver.np_free_for_negation()
+
+    return ENGINE_CACHE.get_or_compute(_HCF_FF_KIND, db, compute)
 
 
 def is_founded_minimal(

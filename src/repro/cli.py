@@ -395,6 +395,65 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    import json as _json
+
+    from .analysis import fragment_profile
+    from .complexity import ROW_ORDER
+    from .engine.cache import query_plan_for
+    from .semantics import get_semantics, resolve_name
+
+    db = _read_database(args.file)
+    profile = fragment_profile(db)
+    names = (
+        list(ROW_ORDER)
+        if args.all_semantics
+        else [resolve_name(args.semantics)]
+    )
+    plans = {
+        name: query_plan_for(db, get_semantics(name), args.method)
+        for name in names
+    }
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "profile": profile.as_dict(),
+                    "method": args.method,
+                    "plans": {
+                        name: plan.as_dict()
+                        for name, plan in plans.items()
+                    },
+                },
+                indent=2,
+                ensure_ascii=False,
+            )
+        )
+        return 0
+    print(f"fragment: {profile.fragment}  ({profile.atoms} atoms, "
+          f"{profile.clauses} clauses)")
+    for name, plan in plans.items():
+        print()
+        print(f"{name}/{args.method}: chosen {plan.procedure} "
+              f"[{plan.claim}]")
+        print(f"  {plan.reason}")
+        header = (
+            f"  {'procedure':18s} {'np':>8s} {'sigma2':>8s} "
+            f"{'nodes':>10s} {'scalar':>10s}"
+        )
+        print(header)
+        for candidate in plan.candidates:
+            marker = "*" if candidate.procedure == plan.procedure else " "
+            print(
+                f" {marker}{candidate.procedure:18s} "
+                f"{candidate.np_calls:8.1f} "
+                f"{candidate.sigma2_dispatches:8.1f} "
+                f"{candidate.nodes:10.1f} "
+                f"{candidate.scalar:10.2f}  {candidate.reason}"
+            )
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis.lint import main as lint_main
 
@@ -718,6 +777,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable report (the CI artifact format)",
     )
     analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    plan_cmd = commands.add_parser(
+        "plan",
+        help=(
+            "show the cost-based planner's per-candidate estimate table "
+            "and chosen procedure for a database"
+        ),
+    )
+    plan_cmd.add_argument("file", help="database file ('-' for stdin)")
+    plan_cmd.add_argument(
+        "--semantics", "-s", default="egcwa",
+        help="semantics name or alias (ignored with --all-semantics)",
+    )
+    plan_cmd.add_argument(
+        "--all-semantics", action="store_true",
+        help="plan every table-row semantics",
+    )
+    plan_cmd.add_argument(
+        "--method",
+        choices=(
+            "infers", "infers_literal", "infers_brave", "has_model",
+            "model_set",
+        ),
+        default="infers",
+        help="entry point to plan for",
+    )
+    plan_cmd.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report (includes the full cost table)",
+    )
+    plan_cmd.set_defaults(handler=_cmd_plan)
 
     lint_cmd = commands.add_parser(
         "lint",

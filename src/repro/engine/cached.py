@@ -65,24 +65,34 @@ class CachedSemantics(Semantics):
 
     # ------------------------------------------------------------------
     def validate(self, db: DisjunctiveDatabase) -> None:
-        # Runs on every call (also cache hits) so inapplicable databases
-        # raise exactly as they would uncached.
         self.inner.validate(db)
+
+    def _validated(self, db: DisjunctiveDatabase, compute):
+        # Validation runs inside the build closure, i.e. only on a
+        # cache miss: an inapplicable database raises before anything
+        # is memoized (so every later call re-raises identically), and
+        # a hit needs no re-check — the stored answer proves
+        # ``validate(db)`` succeeded for this parameterization, and
+        # databases are immutable.
+        self.inner.validate(db)
+        return compute()
 
     def model_set(
         self, db: DisjunctiveDatabase
     ) -> FrozenSet[Interpretation]:
-        self.validate(db)
         return self.cache.get_or_compute(
-            "model_set", self._key(db), lambda: self.inner.model_set(db)
+            "model_set",
+            self._key(db),
+            lambda: self._validated(db, lambda: self.inner.model_set(db)),
         )
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
-        self.validate(db)
         return self.cache.get_or_compute(
             "infers",
             self._key(db, formula),
-            lambda: self.inner.infers(db, formula),
+            lambda: self._validated(
+                db, lambda: self.inner.infers(db, formula)
+            ),
         )
 
     def infers_literal(
@@ -90,29 +100,30 @@ class CachedSemantics(Semantics):
     ) -> bool:
         if isinstance(literal, str):
             literal = Literal.parse(literal)
-        self.validate(db)
         return self.cache.get_or_compute(
             "infers_literal",
             self._key(db, literal),
-            lambda: self.inner.infers_literal(db, literal),
+            lambda: self._validated(
+                db, lambda: self.inner.infers_literal(db, literal)
+            ),
         )
 
     def infers_brave(
         self, db: DisjunctiveDatabase, formula: Formula
     ) -> bool:
-        self.validate(db)
         return self.cache.get_or_compute(
             "infers_brave",
             self._key(db, formula),
-            lambda: self.inner.infers_brave(db, formula),
+            lambda: self._validated(
+                db, lambda: self.inner.infers_brave(db, formula)
+            ),
         )
 
     def has_model(self, db: DisjunctiveDatabase) -> bool:
-        self.validate(db)
         return self.cache.get_or_compute(
             "has_model",
             self._key(db),
-            lambda: self.inner.has_model(db),
+            lambda: self._validated(db, lambda: self.inner.has_model(db)),
         )
 
     # ------------------------------------------------------------------

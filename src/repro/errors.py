@@ -60,3 +60,13 @@ class SolverError(ReproError):
 class BudgetExceededError(ReproError):
     """A solver exceeded an explicitly configured resource budget
     (conflicts, oracle calls, or enumerated models)."""
+
+
+class GroundTruthCapError(ReproError):
+    """A definitional (brute-force) procedure refused an instance above
+    its safety bound — e.g. PWS split enumeration past ``MAX_SPLITS``.
+
+    Distinct from validation errors: the instance is *legal*, only the
+    ground-truth enumeration is too large.  Differential harnesses treat
+    this as "ground truth unavailable" rather than an engine
+    disagreement."""

@@ -27,6 +27,12 @@ context.
 the monotone counters at entry and fills an :class:`OracleObservation`
 with the deltas (plus the max dispatch depth seen *inside the window*)
 at exit.  Observations nest; each sees only its own window.
+
+:func:`record_plan_outcome` closes the planner's feedback loop: every
+planned session query compares the cost model's prediction against the
+observed window — per-procedure query counters and a predicted-vs-actual
+NP-call ratio histogram whose bucket boundaries are exactly the
+calibration band the test suite asserts (0.25x–4x).
 """
 
 from __future__ import annotations
@@ -54,6 +60,17 @@ SEARCH_NODES = METRICS.counter(
 MAX_DISPATCH_DEPTH = METRICS.gauge(
     "repro_oracle_max_sigma2_depth",
     "Deepest Sigma2p dispatch nesting observed process-wide",
+)
+PLANNER_QUERIES = METRICS.counter(
+    "repro_planner_queries_total",
+    "Session queries answered through the planned engine, by procedure",
+    labelnames=("procedure",),
+)
+PLANNER_NP_RATIO = METRICS.histogram(
+    "repro_planner_np_ratio",
+    "Predicted-vs-actual NP-call ratio, (actual+1)/(predicted+1); the "
+    "0.25/4.0 boundary buckets are the documented calibration band",
+    buckets=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
 )
 
 #: Current Σ₂ᵖ dispatch nesting depth in this context (0 = outside any).
@@ -178,6 +195,19 @@ def observe() -> Iterator[OracleObservation]:
         )
         observation.nodes = SEARCH_NODES.value - window.start_nodes
         observation.max_sigma2_depth = window.max_depth
+
+
+def record_plan_outcome(plan, observation: OracleObservation) -> None:
+    """Feed one planned query's predicted-vs-actual into the metrics.
+
+    ``plan`` is a :class:`~repro.analysis.planner.QueryPlan` (duck-typed
+    to keep this module free of analysis imports).  The ratio uses
+    ``(actual + 1) / (predicted + 1)`` so zero-call fast paths land in
+    the 1.0 bucket instead of dividing by zero.
+    """
+    PLANNER_QUERIES.labels(procedure=plan.procedure).inc()
+    ratio = (observation.np_calls + 1.0) / (plan.predicted_np_calls + 1.0)
+    PLANNER_NP_RATIO.observe(ratio)
 
 
 def totals() -> OracleObservation:

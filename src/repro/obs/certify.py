@@ -297,11 +297,19 @@ ENVELOPE_OVERRIDES: Dict[Tuple[str, Task, Regime], CellEnvelope] = {}
 #: * ``horn`` — the unit-propagation path is pure P: **zero** NP calls,
 #:   zero Σ₂ᵖ dispatches, zero enumeration nodes.  A Horn-planned query
 #:   that issues even one SAT call is a certificate violation.
+#: * ``stratified-normal`` — the iterated per-stratum least-model path
+#:   is pure P exactly like the Horn one: all-zero counters enforced.
 #: * ``hcf`` — the foundedness machine is NP-level: plain SAT calls
 #:   (bounded linearly with a generous constant for the candidate
 #:   loop), but **zero** Σ₂ᵖ dispatches ever.
 FRAGMENT_ENVELOPES: Dict[str, CellEnvelope] = {
     "horn": CellEnvelope(
+        np_calls=Bound(const=0),
+        sigma2_dispatches=Bound(const=0),
+        nodes=Bound(const=0),
+        max_sigma2_depth=0,
+    ),
+    "stratified-normal": CellEnvelope(
         np_calls=Bound(const=0),
         sigma2_dispatches=Bound(const=0),
         nodes=Bound(const=0),

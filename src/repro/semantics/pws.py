@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterator, Optional
 
-from ..errors import NotPositiveError
+from ..errors import GroundTruthCapError, NotPositiveError
 from ..logic.atoms import Literal
 from ..logic.database import DisjunctiveDatabase
 from ..logic.formula import Formula, Not
@@ -82,7 +82,7 @@ def possible_models_by_splits(
     if db.has_negation:
         raise NotPositiveError("PWS is defined for deductive databases only")
     if split_count(db) > max_splits:
-        raise NotPositiveError(
+        raise GroundTruthCapError(
             f"too many split programs ({split_count(db)} > {max_splits})"
         )
     found = set()

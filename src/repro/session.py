@@ -21,7 +21,11 @@ from typing import Dict, FrozenSet, Optional, Union
 from .complexity.oracles import count_sat_calls
 from .errors import ReproError
 from .obs import trace as _trace
-from .obs.accounting import OracleObservation, observe
+from .obs.accounting import (
+    OracleObservation,
+    observe,
+    record_plan_outcome,
+)
 from .obs.certify import (
     DEFAULT_CERTIFIER,
     Certifier,
@@ -155,6 +159,7 @@ class DatabaseSession:
         self.certificates_checked = 0
         self.certificate_violations = 0
         self.solver_stat_totals: Dict[str, int] = {}
+        self.plan_procedure_counts: Dict[str, int] = {}
 
     @staticmethod
     def _solver_delta(
@@ -172,6 +177,27 @@ class DatabaseSession:
             self.solver_stat_totals[name] = (
                 self.solver_stat_totals.get(name, 0) + value
             )
+
+    def _note_plan(
+        self, span, plan, window: OracleObservation
+    ) -> None:
+        """Record a planned query's predicted-vs-actual on the span, the
+        process metrics and the session's per-procedure tally."""
+        if plan is None:
+            return
+        span.set_attributes(
+            plan=plan.procedure,
+            predicted_np_calls=plan.predicted_np_calls,
+            actual_np_calls=window.np_calls,
+            predicted_sigma2=plan.predicted_sigma2,
+            actual_sigma2=window.sigma2_dispatches,
+            predicted_nodes=plan.predicted_nodes,
+            actual_nodes=window.nodes,
+        )
+        record_plan_outcome(plan, window)
+        self.plan_procedure_counts[plan.procedure] = (
+            self.plan_procedure_counts.get(plan.procedure, 0) + 1
+        )
 
     # ------------------------------------------------------------------
     def _semantics(self, name: Optional[str]) -> Semantics:
@@ -258,8 +284,7 @@ class DatabaseSession:
                 else None
             )
             span.set_attributes(verdict=verdict, sat_calls=counter.calls)
-            if plan is not None:
-                span.set_attribute("plan", plan.procedure)
+            self._note_plan(span, plan, window)
         solver_delta = self._solver_delta(
             solver_before, SOLVER_POOL.core_stats()
         )
@@ -317,8 +342,7 @@ class DatabaseSession:
                 engine, "infers_literal", window, span, plan=plan
             )
             span.set_attributes(verdict=verdict, sat_calls=counter.calls)
-            if plan is not None:
-                span.set_attribute("plan", plan.procedure)
+            self._note_plan(span, plan, window)
         solver_delta = self._solver_delta(
             solver_before, SOLVER_POOL.core_stats()
         )
@@ -355,6 +379,7 @@ class DatabaseSession:
             plan = getattr(engine, "last_plan", None)
             self._certify(engine, "has_model", window, span, plan=plan)
             span.set_attribute("verdict", verdict)
+            self._note_plan(span, plan, window)
         return verdict
 
     def extended(self, clauses) -> "DatabaseSession":
@@ -385,6 +410,14 @@ class DatabaseSession:
         }
         stats.update(RUNTIME_STATS.snapshot())
         stats.update(solver_pool_stats())
+        stats.update(
+            {
+                f"plan_{procedure.replace('-', '_')}": count
+                for procedure, count in sorted(
+                    self.plan_procedure_counts.items()
+                )
+            }
+        )
         stats.update(
             {
                 f"solver_{name}": value

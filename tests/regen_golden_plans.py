@@ -1,0 +1,92 @@
+"""Regenerate ``tests/data/golden_plans.json`` from the live planner.
+
+Run after a *deliberate* cost-model or lattice change, then review the
+diff — every changed procedure or predicted count is a plan regression
+you are explicitly signing off on:
+
+    PYTHONPATH=src python tests/regen_golden_plans.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.fragment import fragment_profile
+from repro.analysis.planner import FragmentPlanner
+from repro.logic.parser import parse_database
+from repro.semantics import get_semantics
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_plans.json"
+)
+
+# One database per lattice region, including barely-outside witnesses
+# (non-HCF head cycle, unstratified pair) that must stay on default.
+DATABASES = {
+    "horn-facts-and-rules": "a. b :- a. c :- a, b. :- c, d.",
+    "definite-chain": "p1. p2 :- p1. p3 :- p2.",
+    "acyclic-disjunctive": "a | b. c :- a. c :- b.",
+    "hcf-with-scc": "a | b. c :- a. c :- b. d :- c. c :- d.",
+    "non-hcf-head-cycle": "a | b. a :- b. b :- a.",
+    "stratified-normal-tower": "win1 :- not win2. win2 :- not win3. win3.",
+    "stratified-disjunctive": "a. b | c :- not a.",
+    "unstratified-pair": "x :- not y. y :- not x.",
+    "disjunctive-with-negation": "a | b. c :- a, not d. d :- b.",
+}
+
+# (semantics, method) pairs covering every dispatch family: Horn
+# collapse, FF-reducible formula/literal closure, MM-reducible
+# inference, perfect collapse, and the non-collapsing pdsm control.
+CASES = (
+    ("cwa", "infers"), ("gcwa", "infers"), ("gcwa", "infers_literal"),
+    ("ccwa", "infers_literal"), ("egcwa", "infers"),
+    ("egcwa", "model_set"), ("ecwa", "infers_brave"),
+    ("circ", "has_model"), ("icwa", "infers"),
+    ("perf", "infers_literal"), ("dsm", "infers"), ("pdsm", "infers"),
+)
+
+
+def build_entries():
+    planner = FragmentPlanner()
+    entries = []
+    for db_id, text in sorted(DATABASES.items()):
+        prof = fragment_profile(parse_database(text))
+        for semantics, method in CASES:
+            plan = planner.plan(prof, get_semantics(semantics), method)
+            entries.append(
+                {
+                    "id": f"{db_id}/{semantics}/{method}",
+                    "db": text,
+                    "semantics": semantics,
+                    "method": method,
+                    "expected": {
+                        "fragment": plan.fragment,
+                        "procedure": plan.procedure,
+                        "claim": plan.claim,
+                        "predicted_np_calls": plan.predicted_np_calls,
+                        "predicted_sigma2": plan.predicted_sigma2,
+                        "predicted_nodes": plan.predicted_nodes,
+                    },
+                }
+            )
+    return entries
+
+
+def main() -> None:
+    payload = {
+        "comment": (
+            "Golden query plans: regenerate with PYTHONPATH=src python "
+            "tests/regen_golden_plans.py after a deliberate cost-model "
+            "change."
+        ),
+        "entries": build_entries(),
+    }
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(payload['entries'])} entries to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

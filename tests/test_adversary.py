@@ -70,6 +70,72 @@ def test_hunt_500_cases_zero_divergences():
     assert report.clean, [d.summary() for d in report.divergences]
 
 
+def test_boundary_mutators_oversampled_near_fast_paths():
+    """Bases in planner fast-path territory must draw the boundary
+    mutators (barely-non-Horn / barely-non-HCF / barely-unstratified)
+    well above their catalogue share, so hunts concentrate on the cost
+    model's dispatch edges."""
+    config = HuntConfig(seed=404, regimes=("horn", "positive"))
+    kinds = {"boundary": 0, "metamorphic": 0}
+    for index in range(200):
+        case = build_case(config, index)
+        if case is None or case.mutator is None:
+            continue
+        kinds[case.mutator.kind] += 1
+    total = kinds["boundary"] + kinds["metamorphic"]
+    assert total > 100
+    # Unweighted, boundary mutators are ~2 of ~9 applicable choices
+    # (~22%); the 3x weighting must push them past one third.
+    assert kinds["boundary"] / total > 1 / 3
+
+
+@pytest.mark.slow
+def test_hunt_planner_cost_paths_zero_divergences():
+    """Pinned slow-lane hunt over the planner-heavy regimes: Horn,
+    deductive and stratified bases with boundary mutants over-sampled,
+    exercising the cost model's fast-path/fallback edges (hcf-founded
+    single-query literals, hcf-closure memoization, stratified-perfect)
+    through the full five-engine differential stack."""
+    report = hunt(
+        HuntConfig(
+            seed=1816,  # Truszczyński trichotomy arXiv 1007.2816
+            max_cases=300,
+            budget_ms=600_000,
+            regimes=("horn", "positive", "deductive", "stratified"),
+        )
+    )
+    assert report.cases_run == 300
+    assert not report.budget_exhausted
+    assert report.clean, [d.summary() for d in report.divergences]
+
+
+def test_ground_truth_cap_is_not_a_divergence():
+    """PWS split enumeration refuses instances above MAX_SPLITS with
+    GroundTruthCapError; the hunter must treat that as "ground truth
+    unavailable" and not flag the polynomial-check engines (which agree
+    with each other) as a five-engine disagreement."""
+    from repro.errors import GroundTruthCapError
+    from repro.adversary.hunter import find_engine_disagreement
+    from repro.logic.parser import parse_formula
+    from repro.semantics import get_semantics
+    from repro.semantics.pws import possible_models_by_splits
+
+    # 7 wide disjunctive clauses: split_count = 7^7 = 823543 > 2^16.
+    text = " ".join(
+        f"a{i} | b{i} | c{i}." for i in range(7)
+    )
+    db = parse_database(text)
+    with pytest.raises(GroundTruthCapError):
+        possible_models_by_splits(db)
+    assert get_semantics("pws", engine="oracle").has_model(db)
+    assert (
+        find_engine_disagreement(
+            db, "pws", parse_formula("a0"), "a0"
+        )
+        is None
+    )
+
+
 def test_hunt_respects_wall_budget():
     report = hunt(HuntConfig(seed=1, max_cases=100_000, budget_ms=0.0))
     assert report.budget_exhausted

@@ -29,6 +29,7 @@ from repro.analysis.lint import (
 )
 from repro.analysis.planner import (
     DEFAULT_PROCEDURE,
+    HCF_CLOSURE_PROCEDURE,
     HCF_PROCEDURE,
     HORN_COLLAPSE,
     HORN_PROCEDURE,
@@ -71,16 +72,31 @@ def test_barely_not_definite_integrity():
 
 
 def test_barely_not_horn_disjunction():
-    """One 2-atom head: no longer Horn, still HCF-deductive."""
+    """One 2-atom head: no longer Horn, still acyclic-deductive (the
+    positive dependency graph of a chain has no cycle at all)."""
     p = profile("a. b :- a. c | d :- b.")
     assert not p.is_horn
-    assert p.fragment == "hcf-deductive"
+    assert p.head_cycle_free and p.positive_acyclic
+    assert p.fragment == "acyclic-deductive"
+
+
+def test_acyclic_witness_and_self_loop_boundary():
+    """A single self-loop breaks acyclicity but not head-cycle-freeness
+    — the trichotomy refinement's own is/is-barely-not pair."""
+    p = profile("a | b. c :- a. c :- b.")
+    assert p.positive_acyclic
+    assert p.fragment == "acyclic-deductive"
+    q = profile("a | b. c :- a. c :- b. c :- c.")
+    assert not q.positive_acyclic and q.head_cycle_free
+    assert q.fragment == "hcf-deductive"
 
 
 def test_hcf_witness():
-    """Disjunctive heads whose atoms never share a positive cycle."""
-    p = profile("a | b. c :- a. c :- b.")
-    assert p.head_cycle_free
+    """Disjunctive heads whose atoms never share a positive cycle: a
+    positive cycle elsewhere (c <-> d) keeps HCF but not acyclicity."""
+    p = profile("a | b. c :- a. c :- b. d :- c. c :- d.")
+    assert p.head_cycle_free and not p.positive_acyclic
+    assert p.largest_scc == 2
     assert p.fragment == "hcf-deductive"
 
 
@@ -101,8 +117,19 @@ def test_hcf_heads_not_tied():
     assert p.scc_count == 2 and p.largest_scc == 1
 
 
-def test_stratified_witness():
+def test_stratified_normal_witness():
+    """Stratified with every head ≤ 1 atom: the trichotomy's pure-P
+    cell (unique perfect = unique stable model)."""
     p = profile("a. b :- not a.")
+    assert p.is_stratified
+    assert p.strata >= 2
+    assert p.max_head_width == 1
+    assert p.fragment == "stratified-normal"
+
+
+def test_stratified_witness():
+    """A disjunctive head keeps the database out of the normal cell."""
+    p = profile("a. b | c :- not a.")
     assert p.is_stratified
     assert p.strata >= 2
     assert p.fragment == "stratified"
@@ -209,11 +236,22 @@ def test_planner_horn_dispatch():
 def test_planner_hcf_dispatch():
     prof = profile("a | b. c :- a. c :- b.")
     planner = FragmentPlanner()
-    for name in ("egcwa", "ecwa", "dsm", "gcwa", "ccwa"):
+    # MM-reducible semantics answer with one founded search; the GCWA
+    # family's formula inference goes through the memoized ff closure.
+    for name in ("egcwa", "ecwa", "dsm"):
         plan = planner.plan(prof, get_semantics(name), "infers")
         assert plan.procedure == HCF_PROCEDURE, name
         assert plan.claim == "coNP"
         assert plan.envelope_key == "hcf"
+    for name in ("gcwa", "ccwa"):
+        plan = planner.plan(prof, get_semantics(name), "infers")
+        assert plan.procedure == HCF_CLOSURE_PROCEDURE, name
+        assert plan.claim == "coNP"
+        assert plan.envelope_key == "hcf"
+        literal_plan = planner.plan(
+            prof, get_semantics(name), "infers_literal"
+        )
+        assert literal_plan.procedure == HCF_PROCEDURE, name
     # model_set has no NP-level reduction (there can be exponentially
     # many minimal models), so it falls back.
     plan = planner.plan(prof, get_semantics("egcwa"), "model_set")
