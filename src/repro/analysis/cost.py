@@ -34,9 +34,25 @@ asserted by ``tests/test_differential.py``):
       FF(p)  = atoms * S(p) + 1     # default (Σ₂ᵖ) closure
       FF0(p) = atoms * F(p) + 1     # founded closure (memoized per DB)
 
-* model enumeration is priced exponentially in the choice points::
+* model enumeration is priced exponentially in the choice points; a
+  database that splits into connected components is priced as a *sum*
+  of per-component terms (the brute enumerators decompose, see
+  :mod:`repro.sat.decompose`), never above the monolithic bound::
 
-      E(p) = 2 ** min(disjunctive_clauses + 1, 14)
+      E(p)  = 2 ** min(disjunctive_clauses + 1, 14)          # connected
+      E(p)  = min(Σᵢ 2 ** min(dᵢ + 1, 14), monolithic E)     # split
+
+* the bitset kernel (:mod:`repro.kernel`) answers MM-/ff-reducible
+  queries by mask-packed enumeration — zero oracle calls, pure
+  enumeration nodes: a setup constant plus one full-vocabulary sweep
+  per component (and a second sweep for methods that must materialize
+  all models rather than just the minimal ones)::
+
+      K(p) = KERNEL_SETUP + Σᵢ 2 ** min(|Vᵢ| + 1, 26) [+ 2 ** min(atoms + 1, 26)]
+
+  The 26-bit cap deliberately exceeds the enumeration cap: a large
+  connected database prices the kernel out rather than flattening its
+  estimate into competitiveness.
 
 The per-``(semantics, method)`` default-engine estimates combine these
 (see :meth:`CostModel.default_estimate`); the Horn and
@@ -55,7 +71,19 @@ HORN_PROCEDURE = "horn-least-model"
 HCF_PROCEDURE = "hcf-founded"
 HCF_CLOSURE_PROCEDURE = "hcf-closure"
 STRATIFIED_PROCEDURE = "stratified-perfect"
+KERNEL_PROCEDURE = "kernel-bitset"
 DEFAULT_PROCEDURE = "default"
+
+#: Flat node price of packing a database into the bitset kernel (atom
+#: table + clause masks, both memoized) and converting answers back at
+#: the API boundary; keeps the kernel from looking free on tiny inputs
+#: where one pooled SAT call is genuinely cheaper.
+KERNEL_SETUP = 256.0
+
+#: Bit cap of the kernel's exponential sweep terms.  Deliberately far
+#: above the 14-bit enumeration cap: a large connected vocabulary must
+#: price the kernel *out*, not flatten into competitiveness.
+_KERNEL_BIT_CAP = 26
 
 #: Semantics whose selected-model set collapses to {least model} on
 #: consistent Horn databases (and to ∅ on inconsistent ones), under the
@@ -174,8 +202,58 @@ class CostModel:
         return profile.atoms * per_atom + 1.0
 
     def enumeration_nodes(self, profile: FragmentProfile) -> float:
-        """``E(p)`` — model-enumeration price (choice points)."""
-        return float(2 ** min(profile.disjunctive_clauses + 1, 14))
+        """``E(p)`` — model-enumeration price (choice points).
+
+        A database that splits into connected components is priced as
+        the sum of per-component terms (the enumerators decompose along
+        components), capped at the monolithic bound so the decomposed
+        estimate is never *worse* than the connected one.
+        """
+        monolithic = float(2 ** min(profile.disjunctive_clauses + 1, 14))
+        if profile.component_count > 1:
+            split = float(
+                sum(
+                    2 ** min(d + 1, 14)
+                    for d in profile.component_disjunctive
+                )
+            )
+            return min(split, monolithic)
+        return monolithic
+
+    def kernel_nodes(
+        self, profile: FragmentProfile, semantics: str, method: str
+    ) -> float:
+        """``K(p)`` — the bitset kernel's pure-enumeration price.
+
+        Setup constant plus one full sweep of each connected
+        component's candidate space (the decomposed minimal-model
+        enumeration), plus a second whole-vocabulary sweep for methods
+        that must materialize *all* classical models rather than just
+        the minimal ones.  The exemptions mirror the brute engines:
+        GCWA/CCWA ``infers_literal`` is answered from ``MM(DB)`` alone,
+        and every EGCWA entry point is minimal-model-only by definition
+        (EGCWA models = minimal models).
+        """
+        if profile.component_count > 1:
+            sweep = float(
+                sum(
+                    2 ** min(a + 1, _KERNEL_BIT_CAP)
+                    for a in profile.component_atoms
+                )
+            )
+        else:
+            sweep = float(2 ** min(profile.atoms + 1, _KERNEL_BIT_CAP))
+        minimal_only = (
+            semantics in FF_REDUCIBLE and method == "infers_literal"
+        ) or (
+            semantics == "egcwa"
+            and method in (
+                "infers", "infers_brave", "infers_literal", "model_set",
+            )
+        )
+        if not minimal_only:
+            sweep += float(2 ** min(profile.atoms + 1, _KERNEL_BIT_CAP))
+        return KERNEL_SETUP + sweep
 
     # ------------------------------------------------------------------
     # Default-engine estimates
@@ -301,6 +379,25 @@ class CostModel:
                     "model, pure P)",
                 )
             )
+        if (
+            profile.is_stratified
+            and profile.max_head_width <= 1
+            and profile.positive_acyclic
+            and semantics == "supported"
+        ):
+            # Tight (positive-acyclic) ⟹ supported = stable models
+            # (Fages); stratified normal ⟹ the unique stable model is
+            # the perfect model (Apt–Blair–Walker).  Same fixpoint, and
+            # positive acyclicity is essential: ``a :- a.`` is
+            # stratified yet has the unsupported {a} excluded only by
+            # tightness.
+            out.append(
+                self._estimate(
+                    STRATIFIED_PROCEDURE, 0.0, 0.0, 0.0,
+                    "tight stratified-normal database: the unique "
+                    "supported model is the perfect model (pure P)",
+                )
+            )
         if profile.negation_free and profile.head_cycle_free:
             f = self.founded_search_np(profile)
             if semantics in MM_REDUCIBLE and method in _INFERENCE_METHODS:
@@ -330,6 +427,23 @@ class CostModel:
                         "+ one classical entailment call",
                     )
                 )
+        # ``circ`` is excluded: its brute engine minimizes via SAT
+        # probes even on small databases, so the zero-oracle-call
+        # estimate below would misprice it.
+        kernel_eligible = (
+            semantics in MM_REDUCIBLE or semantics in FF_REDUCIBLE
+        ) and semantics != "circ"
+        if kernel_eligible:
+            out.append(
+                self._estimate(
+                    KERNEL_PROCEDURE,
+                    0.0,
+                    0.0,
+                    self.kernel_nodes(profile, semantics, method),
+                    "bitset-kernel enumeration (mask-packed, "
+                    "decomposed per component; zero oracle calls)",
+                )
+            )
         return tuple(out)
 
     def choose(

@@ -79,6 +79,14 @@ class FragmentProfile:
         scc_count / largest_scc: SCC census of the positive dependency
             graph (body→head edges; heads deliberately *not* tied,
             unlike the stratification graph).
+        component_count / largest_component: connected-component census
+            of the clause graph (see :mod:`repro.sat.decompose`) — the
+            structure the brute enumerators decompose along.
+        component_atoms / component_disjunctive: per-component atom and
+            disjunctive-clause counts, in the canonical (min-atom)
+            component order; the cost model prices decomposed
+            enumeration as a *sum* of per-component terms instead of
+            one monolithic exponential.
     """
 
     atoms: int
@@ -101,6 +109,10 @@ class FragmentProfile:
     positive_acyclic: bool
     scc_count: int
     largest_scc: int
+    component_count: int = 1
+    largest_component: int = 0
+    component_atoms: Tuple[int, ...] = ()
+    component_disjunctive: Tuple[int, ...] = ()
 
     @property
     def fragment(self) -> str:
@@ -145,6 +157,10 @@ class FragmentProfile:
             "positive_acyclic": self.positive_acyclic,
             "scc_count": self.scc_count,
             "largest_scc": self.largest_scc,
+            "component_count": self.component_count,
+            "largest_component": self.largest_component,
+            "component_atoms": list(self.component_atoms),
+            "component_disjunctive": list(self.component_disjunctive),
         }
 
     def render(self) -> str:
@@ -202,6 +218,7 @@ class FragmentAnalyzer:
         scc_count, largest, hcf, acyclic = self._head_cycle_analysis(
             db, adjacency, head_pairs
         )
+        component_atoms, component_disjunctive = self._component_census(db)
         from ..engine.cache import stratification_for
 
         stratification = stratification_for(db)
@@ -226,6 +243,37 @@ class FragmentAnalyzer:
             positive_acyclic=acyclic,
             scc_count=scc_count,
             largest_scc=largest,
+            component_count=len(component_atoms),
+            largest_component=max(component_atoms, default=0),
+            component_atoms=component_atoms,
+            component_disjunctive=component_disjunctive,
+        )
+
+    @staticmethod
+    def _component_census(
+        db: DisjunctiveDatabase,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Per-component ``(atom count, disjunctive clause count)``
+        tuples, in the canonical component order of
+        :func:`repro.sat.decompose.connected_components`."""
+        from ..sat.decompose import connected_components
+
+        components = connected_components(db)
+        component_of: Dict[str, int] = {
+            atom: index
+            for index, component in enumerate(components)
+            for atom in component
+        }
+        disjunctive = [0] * len(components)
+        for clause in db.clauses:
+            if not clause.is_disjunctive:
+                continue
+            # Every atom of a clause lies in one component by
+            # construction of the clause graph.
+            disjunctive[component_of[next(iter(clause.head))]] += 1
+        return (
+            tuple(len(c) for c in components),
+            tuple(disjunctive),
         )
 
     @staticmethod

@@ -29,6 +29,13 @@ Candidate procedures:
   entailment from the founded ``ff(DB)`` closure, which is memoized per
   database (:func:`~repro.analysis.procedures.hcf_free_atoms`), so
   repeated queries pay one SAT call each;
+* ``kernel-bitset`` — on small-vocabulary databases the MM-/ff-reducible
+  semantics are answered by the mask-packed brute engine
+  (:mod:`repro.kernel`): **zero oracle calls**, pure enumeration over
+  packed interpretations, decomposed per connected component, with the
+  answers memoized under the cached engine's keys (answers are
+  engine-independent).  The cost model's 26-bit sweep cap prices the
+  kernel out long before ``2^|V|`` could hurt;
 * ``default`` — everything else delegates to the wrapped oracle
   procedures *behind the process-wide memo cache* (the planner's
   fallback is never slower than ``engine="cached"`` by more than the
@@ -46,7 +53,7 @@ planned procedure.  Fast-path answers are memoized under the same keys
 the ``cached`` engine uses — the answers are engine-independent, so the
 planner composes with, rather than competes against, the memo layer.
 
-Soundness notes (each backed by the 5-engine differential corpus):
+Soundness notes (each backed by the 6-engine differential corpus):
 
 * Horn collapse: on a consistent Horn database the least model ``M`` is
   the unique minimal model; GCWA/EGCWA/CCWA/ECWA/CIRC (default
@@ -92,6 +99,7 @@ from .cost import (
     HCF_PROCEDURE,
     HORN_COLLAPSE,
     HORN_PROCEDURE,
+    KERNEL_PROCEDURE,
     MM_REDUCIBLE,
     PERFECT_COLLAPSE,
     STRATIFIED_PROCEDURE,
@@ -104,6 +112,7 @@ from .procedures import (
     hcf_free_atoms,
     horn_least_model,
     stratified_perfect_model,
+    supported_model_tight,
 )
 
 __all__ = [
@@ -115,6 +124,7 @@ __all__ = [
     "HCF_PROCEDURE",
     "HCF_CLOSURE_PROCEDURE",
     "STRATIFIED_PROCEDURE",
+    "KERNEL_PROCEDURE",
     "DEFAULT_PROCEDURE",
     "QueryPlan",
     "FragmentPlanner",
@@ -122,11 +132,15 @@ __all__ = [
 ]
 
 #: Complexity claim per procedure (what the certifier tightens to).
+#: The kernel procedure is honest about its class: mask-packed brute
+#: enumeration is exponential *time* but zero oracle calls, so its
+#: envelope bounds nodes generously and NP calls at zero.
 _CLAIMS = {
     HORN_PROCEDURE: "P",
     STRATIFIED_PROCEDURE: "P",
     HCF_PROCEDURE: "coNP",
     HCF_CLOSURE_PROCEDURE: "coNP",
+    KERNEL_PROCEDURE: "EXP",
     DEFAULT_PROCEDURE: "table default",
 }
 
@@ -140,7 +154,8 @@ class QueryPlan:
         method: the entry point planned for.
         fragment: the database's fragment label.
         procedure: one of ``horn-least-model`` / ``stratified-perfect``
-            / ``hcf-founded`` / ``hcf-closure`` / ``default``.
+            / ``hcf-founded`` / ``hcf-closure`` / ``kernel-bitset`` /
+            ``default``.
         claim: the complexity class the chosen procedure runs in (what
             the certifier tightens the envelope to).
         reason: one line of planner rationale.
@@ -172,6 +187,8 @@ class QueryPlan:
             return "stratified-normal"
         if self.procedure in (HCF_PROCEDURE, HCF_CLOSURE_PROCEDURE):
             return "hcf"
+        if self.procedure == KERNEL_PROCEDURE:
+            return "kernel"
         return None
 
     def as_dict(self) -> Dict[str, Any]:
@@ -300,6 +317,17 @@ class PlannedSemantics(Semantics):
         # (ROADMAP gate: planned is never materially slower than cached).
         self.fallback = CachedSemantics(inner)
         self.last_plan: Optional[QueryPlan] = None
+        # The perfect-model fixpoint behind the stratified fast path:
+        # for the supported semantics it is the tight-program variant
+        # (same memoized computation, documented gate).
+        self._perfect = (
+            supported_model_tight
+            if inner.name == "supported"
+            else stratified_perfect_model
+        )
+        # Lazily-built brute instance backing the kernel-bitset
+        # procedure (mask-packed enumeration; see repro.kernel).
+        self._kernel_brute: Optional[Semantics] = None
         # Per-instance plan memo in front of the engine-cache entry:
         # repeated queries on one engine pay a dict hit instead of the
         # shared cache's key build + LRU bookkeeping.  A hit also
@@ -385,8 +413,13 @@ class PlannedSemantics(Semantics):
             model, consistent = horn_least_model(db)
             return frozenset({model}) if consistent else frozenset()
         if plan.procedure == STRATIFIED_PROCEDURE:
-            model, consistent = stratified_perfect_model(db)
+            model, consistent = self._perfect(db)
             return frozenset({model}) if consistent else frozenset()
+        if plan.procedure == KERNEL_PROCEDURE:
+            return self._memoized(
+                "model_set", self._answer_key(db),
+                lambda: self._kernel_engine().model_set(db),
+            )
         return self.fallback.model_set(db)
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
@@ -397,10 +430,15 @@ class PlannedSemantics(Semantics):
                 return True  # vacuous: no selected models
             return model.satisfies(ground_query(db, formula))
         if plan.procedure == STRATIFIED_PROCEDURE:
-            model, consistent = stratified_perfect_model(db)
+            model, consistent = self._perfect(db)
             if not consistent:
                 return True
             return model.satisfies(ground_query(db, formula))
+        if plan.procedure == KERNEL_PROCEDURE:
+            return self._memoized(
+                "infers", self._answer_key(db, formula),
+                lambda: self._kernel_engine().infers(db, formula),
+            )
         if plan.procedure == HCF_PROCEDURE:
             return self._memoized(
                 "infers", self._answer_key(db, formula),
@@ -427,10 +465,15 @@ class PlannedSemantics(Semantics):
                 return True
             return (literal.atom in model) == literal.positive
         if plan.procedure == STRATIFIED_PROCEDURE:
-            model, consistent = stratified_perfect_model(db)
+            model, consistent = self._perfect(db)
             if not consistent:
                 return True
             return (literal.atom in model) == literal.positive
+        if plan.procedure == KERNEL_PROCEDURE:
+            return self._memoized(
+                "infers_literal", self._answer_key(db, literal),
+                lambda: self._kernel_infers_literal(db, literal),
+            )
         if plan.procedure == HCF_PROCEDURE:
             return self._memoized(
                 "infers_literal", self._answer_key(db, literal),
@@ -448,10 +491,15 @@ class PlannedSemantics(Semantics):
                 return False  # no selected model can witness anything
             return model.satisfies(ground_query(db, formula))
         if plan.procedure == STRATIFIED_PROCEDURE:
-            model, consistent = stratified_perfect_model(db)
+            model, consistent = self._perfect(db)
             if not consistent:
                 return False
             return model.satisfies(ground_query(db, formula))
+        if plan.procedure == KERNEL_PROCEDURE:
+            return self._memoized(
+                "infers_brave", self._answer_key(db, formula),
+                lambda: self._kernel_engine().infers_brave(db, formula),
+            )
         if plan.procedure == HCF_PROCEDURE:
             grounded = ground_query(db, formula)
             return self._memoized(
@@ -466,8 +514,13 @@ class PlannedSemantics(Semantics):
             _, consistent = horn_least_model(db)
             return consistent
         if plan.procedure == STRATIFIED_PROCEDURE:
-            _, consistent = stratified_perfect_model(db)
+            _, consistent = self._perfect(db)
             return consistent
+        if plan.procedure == KERNEL_PROCEDURE:
+            return self._memoized(
+                "has_model", self._answer_key(db),
+                lambda: self._kernel_engine().has_model(db),
+            )
         return self.fallback.has_model(db)
 
     # ------------------------------------------------------------------
@@ -477,6 +530,47 @@ class PlannedSemantics(Semantics):
         from ..engine.cache import ENGINE_CACHE
 
         return ENGINE_CACHE.get_or_compute(kind, key, compute)
+
+    # ------------------------------------------------------------------
+    # The bitset-kernel procedure
+    # ------------------------------------------------------------------
+    def _kernel_engine(self) -> Semantics:
+        """The brute instance behind the kernel-bitset procedure (lazy).
+
+        The brute engine already runs mask-packed internals whenever the
+        kernel is enabled (see :mod:`repro.models.enumeration`); the
+        planner only ever routes here with the default parameterization,
+        which is exactly what the registry instance carries.
+        """
+        if self._kernel_brute is None:
+            from ..semantics.base import get_semantics
+
+            self._kernel_brute = get_semantics(self.name, engine="brute")
+        return self._kernel_brute
+
+    def _kernel_infers_literal(
+        self, db: DisjunctiveDatabase, literal: Literal
+    ) -> bool:
+        """Kernel-procedure literal inference.
+
+        For the GCWA family (default partition, negation read
+        classically) the answer comes straight off the memoized
+        ``MM(DB)`` enumeration: a positive literal holds iff it holds
+        in every minimal model (atoms persist upward from the minimal
+        model each GCWA model contains), a negative one iff no minimal
+        model contains the atom (the closure test) — so one shared
+        ``minimal_models_for`` entry serves every literal of a
+        closure-style sweep.  Everything else runs the semantics' own
+        brute engine.
+        """
+        if self.name in FF_REDUCIBLE:
+            from ..engine.cache import minimal_models_for
+
+            models = minimal_models_for(db)
+            if literal.positive:
+                return all(literal.atom in m for m in models)
+            return not any(literal.atom in m for m in models)
+        return self._kernel_engine().infers_literal(db, literal)
 
     def _hcf_solver(self, db: DisjunctiveDatabase) -> HeadCycleFreeSolver:
         return HeadCycleFreeSolver(db, reuse=self.inner.sat_reuse)

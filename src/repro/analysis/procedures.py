@@ -36,9 +36,10 @@ from typing import FrozenSet, Iterable, Optional, Tuple
 from ..errors import SolverError
 from ..logic.atoms import Literal
 from ..logic.database import DisjunctiveDatabase
-from ..logic.formula import Formula, Not, Var
+from ..logic.formula import Formula, Not
 from ..logic.interpretation import Interpretation
 from ..runtime.budget import check_deadline
+from ..sat.incremental import Scope, scoped_sweep
 from ..sat.minimal import MinimalModelSolver
 
 #: Engine-cache kind for memoized least models.
@@ -175,6 +176,25 @@ def stratified_perfect_model(
     return Interpretation(model), consistent
 
 
+def supported_model_tight(
+    db: DisjunctiveDatabase,
+) -> Tuple[Interpretation, bool]:
+    """``(the unique supported model, consistency)`` of a stratified,
+    positive-acyclic normal database.
+
+    On that fragment the Clark completion has exactly one model and it
+    is the perfect model: positive acyclicity makes the database *tight*,
+    so supported models coincide with stable models (Fages), and a
+    stratified normal database has the perfect model as its unique
+    stable model (Apt–Blair–Walker).  The computation is therefore the
+    memoized :func:`stratified_perfect_model` fixpoint — zero SAT calls.
+    Callers must have established the gate (the planner checks
+    ``is_stratified``, head width ≤ 1 and positive acyclicity on the
+    fragment profile); elsewhere the result is meaningless.
+    """
+    return stratified_perfect_model(db)
+
+
 def hcf_free_atoms(
     db: DisjunctiveDatabase, reuse: bool = True
 ) -> FrozenSet[str]:
@@ -285,11 +305,44 @@ class HeadCycleFreeSolver(MinimalModelSolver):
         no minimal model satisfies ``¬formula``."""
         return self.np_find_minimal_satisfying(Not(formula)) is None
 
+    def _np_sweep_witness(
+        self, searcher: Scope, assumption: Literal
+    ) -> Optional[Interpretation]:
+        """One candidate atom of a batched founded sweep (undecorated —
+        this is the NP machine): the candidate travels as a solver
+        assumption so every atom shares one scope, and failed candidates
+        leave condition-independent full-assignment blocks behind."""
+        while True:
+            check_deadline()
+            self.sat_calls += 1
+            if not searcher.solve([assumption]):
+                return None
+            candidate = searcher.model(restrict_to=self.universe)
+            candidate = self._shrink_within(
+                searcher, candidate, extra_assumptions=(assumption,)
+            )
+            if self.np_is_minimal(candidate):
+                return candidate
+            block = [Literal.neg(a) for a in sorted(candidate)]
+            block += [
+                Literal.pos(a)
+                for a in self.universe
+                if a not in candidate
+            ]
+            searcher.add_clause(block)
+
     def np_free_for_negation(self) -> FrozenSet[str]:
-        """``ff(DB)`` — atoms false in every minimal model — via one
-        NP-level query per atom (the GCWA/CCWA closure input)."""
+        """``ff(DB)`` — atoms false in every minimal model — as one
+        batched NP-level sweep over the vocabulary (the GCWA/CCWA
+        closure input); same SAT-call sites as the per-atom loop, one
+        shared scope instead of |V|."""
+        results = scoped_sweep(
+            self._inc,
+            sorted(self.db.vocabulary),
+            lambda searcher, atom: self._np_sweep_witness(
+                searcher, Literal.pos(atom)
+            ),
+        )
         return frozenset(
-            atom
-            for atom in sorted(self.db.vocabulary)
-            if self.np_find_minimal_satisfying(Var(atom)) is None
+            atom for atom, witness in results.items() if witness is None
         )

@@ -34,7 +34,7 @@ from typing import List, Optional
 from . import __version__
 from .errors import ReproError
 from .logic.parser import parse_database, parse_formula
-from .semantics import SEMANTICS, get_semantics, resolve_name
+from .semantics import ENGINES, SEMANTICS, get_semantics, resolve_name
 
 
 def _read_database(path: str):
@@ -511,17 +511,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--engine",
-            choices=(
-                "oracle", "fresh", "brute", "cached", "resilient",
-                "planned",
-            ),
+            choices=ENGINES,
             default="oracle",
             help=(
                 "decision engine ('fresh' disables solver-pool reuse; "
                 "'cached' memoizes oracle results; "
                 "'resilient' adds retry/fallback degradation; "
                 "'planned' dispatches Horn/head-cycle-free fragments "
-                "to cheaper sound procedures)"
+                "to cheaper sound procedures; 'kernel' runs the brute "
+                "enumerator on the opposite bitset/pure representation)"
             ),
         )
         sub.add_argument(
@@ -834,7 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
         "hunt",
         help=(
             "adversarial divergence hunt: mutate random databases and "
-            "cross-check the five-engine differential stack"
+            "cross-check the six-engine differential stack"
         ),
     )
     hunt_cmd.add_argument(

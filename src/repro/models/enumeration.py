@@ -4,6 +4,15 @@ Explicit-enumeration implementations of every model-selection notion used
 by the paper.  They are exponential in ``|V|`` by construction and serve
 as *ground truth* for the oracle-backed engines in the test suite, and as
 the reference semantics for small worked examples.
+
+Internally each sweep runs in one of two representations: the historical
+frozenset path, or the bitset kernel (:mod:`repro.kernel`) which packs
+candidates into Python ints over the database's :class:`~repro.kernel.
+AtomTable` and converts to :class:`~repro.logic.interpretation.
+Interpretation` only at the API boundary.  The two paths tick identical
+budget nodes and produce identical output *sequences* (mask order is the
+binary-counter enumeration order); ``REPRO_KERNEL=pure`` or
+:func:`repro.kernel.force_kernel` selects between them at runtime.
 """
 
 from __future__ import annotations
@@ -11,6 +20,13 @@ from __future__ import annotations
 import itertools
 from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
+from ..kernel import (
+    atom_table_for,
+    is_proper_submask,
+    kernel_enabled,
+    packed_database_for,
+    product_or_masks,
+)
 from ..logic.database import DisjunctiveDatabase
 from ..logic.interpretation import Interpretation, all_interpretations
 from ..runtime.budget import note_nodes
@@ -23,6 +39,15 @@ def all_models(db: DisjunctiveDatabase) -> List[Interpretation]:
     :class:`~repro.runtime.budget.BudgetScope`, so the ``2^|V|`` sweep is
     cut off by node ceilings and deadlines.
     """
+    if kernel_enabled():
+        packed = packed_database_for(db)
+        table = packed.table
+        out = []
+        for mask in range(1 << len(table)):
+            note_nodes(1)
+            if packed.is_model(mask):
+                out.append(table.unpack(mask))
+        return out
     out = []
     for m in all_interpretations(db.vocabulary):
         note_nodes(1)
@@ -48,13 +73,28 @@ def models_in_block(
     base = frozenset(fixed_true)
     fixed = base | frozenset(fixed_false)
     free = sorted(frozenset(db.vocabulary) - fixed)
+    if kernel_enabled():
+        packed = packed_database_for(db)
+        table = packed.table
+        base_mask = table.pack(base)
+        free_bits = [table.bit(a) for a in free]
+        out = []
+        for counter in range(1 << len(free)):
+            note_nodes(1)
+            candidate = base_mask
+            for i, bit in enumerate(free_bits):
+                if counter >> i & 1:
+                    candidate |= bit
+            if packed.is_model(candidate):
+                out.append(table.unpack(candidate))
+        return out
     out = []
-    for mask in range(1 << len(free)):
+    for counter in range(1 << len(free)):
         note_nodes(1)
         candidate = Interpretation(
             itertools.chain(
                 base,
-                (free[i] for i in range(len(free)) if mask >> i & 1),
+                (free[i] for i in range(len(free)) if counter >> i & 1),
             )
         )
         if db.is_model(candidate):
@@ -65,7 +105,14 @@ def models_in_block(
 def _rank_order(
     db: DisjunctiveDatabase, models: Iterable[Interpretation]
 ) -> List[Interpretation]:
-    """Models in the binary-counter order of the serial enumerator."""
+    """Models in the binary-counter order of the serial enumerator.
+
+    The sort key is exactly the packed-mask value over the database's
+    atom table, so kernel and pure paths agree on the output order.
+    """
+    if kernel_enabled():
+        pack = atom_table_for(db).pack
+        return sorted(models, key=pack)
     atoms = sorted(db.vocabulary)
     rank = {a: i for i, a in enumerate(atoms)}
     return sorted(models, key=lambda m: sum(1 << rank[a] for a in m))
@@ -95,8 +142,26 @@ def minimal_models_brute(
                 minimal_models_brute(part, decompose=False)
                 for part in parts
             ]
+            if kernel_enabled():
+                table = atom_table_for(db)
+                part_masks = [
+                    [table.pack(m) for m in models] for models in per_part
+                ]
+                return [
+                    table.unpack(mask)
+                    for mask in sorted(product_or_masks(part_masks))
+                ]
             return _rank_order(db, product_interpretations(per_part))
     models = all_models(db)
+    if kernel_enabled():
+        table = atom_table_for(db)
+        masks = [table.pack(m) for m in models]
+        out = []
+        for m, mask in zip(models, masks):
+            note_nodes(1)
+            if not any(is_proper_submask(o, mask) for o in masks):
+                out.append(m)
+        return out
     out = []
     for m in models:
         note_nodes(1)
@@ -115,6 +180,13 @@ def pz_preferred(
     if (n & q) != (m & q):
         return False
     return (n & p) < (m & p)
+
+
+def _pz_preferred_mask(n: int, m: int, p: int, q: int) -> bool:
+    """Mask form of :func:`pz_preferred`."""
+    if (n & q) != (m & q):
+        return False
+    return is_proper_submask(n & p, m & p)
 
 
 def pz_minimal_models_brute(
@@ -149,8 +221,29 @@ def pz_minimal_models_brute(
                 )
                 for part in parts
             ]
+            if kernel_enabled():
+                table = atom_table_for(db)
+                part_masks = [
+                    [table.pack(m) for m in models] for models in per_part
+                ]
+                return [
+                    table.unpack(mask)
+                    for mask in sorted(product_or_masks(part_masks))
+                ]
             return _rank_order(db, product_interpretations(per_part))
     models = all_models(db)
+    if kernel_enabled():
+        table = atom_table_for(db)
+        p_mask, q_mask = table.pack(p), table.pack(q)
+        masks = [table.pack(m) for m in models]
+        out = []
+        for m, mask in zip(models, masks):
+            note_nodes(1)
+            if not any(
+                _pz_preferred_mask(n, mask, p_mask, q_mask) for n in masks
+            ):
+                out.append(m)
+        return out
     out = []
     for m in models:
         note_nodes(1)
@@ -176,6 +269,20 @@ def lex_preferred(
     return False
 
 
+def _lex_preferred_mask(
+    n: int, m: int, levels: Sequence[int], q: int
+) -> bool:
+    """Mask form of :func:`lex_preferred`."""
+    if (n & q) != (m & q):
+        return False
+    for level in levels:
+        n_part, m_part = n & level, m & level
+        if n_part == m_part:
+            continue
+        return is_proper_submask(n_part, m_part)
+    return False
+
+
 def prioritized_minimal_models_brute(
     db: DisjunctiveDatabase,
     levels: Sequence[Iterable[str]],
@@ -190,6 +297,21 @@ def prioritized_minimal_models_brute(
         - z
     )
     models = all_models(db)
+    if kernel_enabled():
+        table = atom_table_for(db)
+        vocabulary = frozenset(table.atoms)
+        level_masks = [table.pack(level & vocabulary) for level in level_sets]
+        q_mask = table.pack(q)
+        masks = [table.pack(m) for m in models]
+        out = []
+        for m, mask in zip(models, masks):
+            note_nodes(1)
+            if not any(
+                _lex_preferred_mask(n, mask, level_masks, q_mask)
+                for n in masks
+            ):
+                out.append(m)
+        return out
     out = []
     for m in models:
         note_nodes(1)

@@ -302,6 +302,11 @@ ENVELOPE_OVERRIDES: Dict[Tuple[str, Task, Regime], CellEnvelope] = {}
 #: * ``hcf`` — the foundedness machine is NP-level: plain SAT calls
 #:   (bounded linearly with a generous constant for the candidate
 #:   loop), but **zero** Σ₂ᵖ dispatches ever.
+#: * ``kernel`` — the bitset-kernel procedure is mask-packed brute
+#:   enumeration behind the memo cache: **zero** NP calls and zero Σ₂ᵖ
+#:   dispatches ever (a kernel-planned query that touches the SAT
+#:   oracle is a violation); enumeration nodes get the brute engine's
+#:   generous exponential bound.
 FRAGMENT_ENVELOPES: Dict[str, CellEnvelope] = {
     "horn": CellEnvelope(
         np_calls=Bound(const=0),
@@ -318,6 +323,12 @@ FRAGMENT_ENVELOPES: Dict[str, CellEnvelope] = {
     "hcf": CellEnvelope(
         np_calls=Bound(const=32, per_atom=32),
         sigma2_dispatches=Bound(const=0),
+        max_sigma2_depth=0,
+    ),
+    "kernel": CellEnvelope(
+        np_calls=Bound(const=0),
+        sigma2_dispatches=Bound(const=0),
+        nodes=Bound(const=1024, exp_coef=256, exp_base=4.0),
         max_sigma2_depth=0,
     ),
 }

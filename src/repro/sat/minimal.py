@@ -44,6 +44,7 @@ import weakref
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import SolverError
+from ..kernel import atom_table_for, subsets_in_table_order
 from ..logic.atoms import Literal
 from ..obs.accounting import counts_as_sigma2_dispatch
 from ..runtime.budget import check_deadline
@@ -57,6 +58,7 @@ from .incremental import (
     IncrementalSatSolver,
     Scope,
     acquire_solver,
+    scoped_sweep,
 )
 
 
@@ -336,11 +338,17 @@ class MinimalModelSolver(_PooledSolverMixin):
         )
 
     def _shrink_within(
-        self, searcher: Scope, model: Interpretation
+        self,
+        searcher: Scope,
+        model: Interpretation,
+        extra_assumptions: Tuple[Literal, ...] = (),
     ) -> Interpretation:
         """Shrink ``model`` to a subset-minimal model of the constraints
         enforced by ``searcher`` (theory + condition + blocks), via child
-        scopes carrying the strictness clause."""
+        scopes carrying the strictness clause.  ``extra_assumptions``
+        are held through every shrink step (the batched sweep passes the
+        candidate literal here, where the per-query path encodes it as a
+        scope formula)."""
         current = model
         while True:
             check_deadline()
@@ -350,7 +358,8 @@ class MinimalModelSolver(_PooledSolverMixin):
                 step.add_clause(
                     [Literal.neg(a) for a in sorted(current)]
                 )
-                assumptions = [
+                assumptions = list(extra_assumptions)
+                assumptions += [
                     Literal.neg(a)
                     for a in self.universe
                     if a not in current
@@ -359,6 +368,71 @@ class MinimalModelSolver(_PooledSolverMixin):
                 if not step.solve(assumptions):
                     return current
                 current = step.model(restrict_to=self.universe)
+
+    # ------------------------------------------------------------------
+    # Batched oracle sweep: ff(DB) in one scope
+    # ------------------------------------------------------------------
+    @counts_as_sigma2_dispatch
+    def _sweep_witness(
+        self, searcher: Scope, assumption: Literal
+    ) -> Optional[Interpretation]:
+        """One candidate literal of a batched sweep: a minimal model (of
+        the theory alone) satisfying ``assumption``, or ``None``.
+
+        Identical guess-shrink-check structure to
+        :meth:`find_minimal_satisfying` — and decorated the same way, so
+        the Σ₂ᵖ dispatch accounting is one per candidate literal either
+        way — but the condition travels as a solver *assumption* instead
+        of a per-query scope formula, so every literal of the sweep runs
+        in the same scope.  Failed candidates pin a complete universe
+        assignment whose non-minimality is condition-independent, so the
+        blocking clauses (and the solver's learned clauses) are shared
+        across the whole sweep; aggregate NP-call totals drop well below
+        the per-query path's (individual databases may differ by a few
+        calls either way, since the two paths can surface different
+        candidate models to shrink).
+        """
+        while True:
+            check_deadline()
+            self.sat_calls += 1
+            if not searcher.solve([assumption]):
+                return None
+            candidate = searcher.model(restrict_to=self.universe)
+            candidate = self._shrink_within(
+                searcher, candidate, extra_assumptions=(assumption,)
+            )
+            if self.is_minimal(candidate):
+                return candidate
+            block = [Literal.neg(a) for a in sorted(candidate)]
+            block += [
+                Literal.pos(a)
+                for a in self.universe
+                if a not in candidate
+            ]
+            searcher.add_clause(block)
+
+    def free_for_negation_sweep(self) -> frozenset:
+        """``ff(DB)`` — the atoms true in no minimal model — as **one**
+        batched incremental sweep.
+
+        The per-atom closure used to open |V| independent
+        ``find_minimal_satisfying`` scopes; this asks every vocabulary
+        atom in a single scope on the persistent solver (see
+        :func:`repro.sat.incremental.scoped_sweep`), reusing learned
+        clauses and failed-candidate blocks across atoms.  Counted as
+        the same |V| Σ₂ᵖ dispatches as the per-atom loop, so certifier
+        envelopes are unchanged.
+        """
+        results = scoped_sweep(
+            self._inc,
+            list(self.universe),
+            lambda searcher, atom: self._sweep_witness(
+                searcher, Literal.pos(atom)
+            ),
+        )
+        return frozenset(
+            atom for atom, witness in results.items() if witness is None
+        )
 
     def entails(self, formula: Formula) -> bool:
         """Minimal-model entailment ``MM(theory) |= formula``.
@@ -476,6 +550,53 @@ class PZMinimalModelSolver(_PooledSolverMixin):
 
         return self.find_minimal_satisfying(Not(formula)) is None
 
+    # ------------------------------------------------------------------
+    # Batched oracle sweep over candidate P-atoms
+    # ------------------------------------------------------------------
+    @counts_as_sigma2_dispatch
+    def _sweep_witness(
+        self, searcher: Scope, assumption: Literal
+    ) -> Optional[Interpretation]:
+        """One candidate literal of a batched sweep: a ``(P;Z)``-minimal
+        model satisfying ``assumption``, or ``None``.
+
+        Same candidate loop and ``P ∪ Q`` projection blocking as
+        :meth:`find_minimal_satisfying` (one Σ₂ᵖ dispatch per literal),
+        with the condition as an assumption so the whole sweep shares one
+        scope.  A blocked projection is non-minimal independently of the
+        condition, so sharing the blocks across literals is sound.
+        """
+        pq = sorted(self.p | self.q)
+        while True:
+            check_deadline()
+            self.sat_calls += 1
+            if not searcher.solve([assumption]):
+                return None
+            candidate = searcher.model(restrict_to=self.db.vocabulary)
+            if self.is_minimal(candidate):
+                return candidate
+            searcher.add_clause(
+                [
+                    Literal.neg(a) if a in candidate else Literal.pos(a)
+                    for a in pq
+                ]
+            )
+
+    def free_p_atoms_sweep(self) -> frozenset:
+        """The ``P``-atoms true in no ``(P;Z)``-minimal model, as one
+        batched incremental sweep (the CCWA closure's per-atom loop,
+        collapsed into a single scope; same |P| Σ₂ᵖ dispatch count)."""
+        results = scoped_sweep(
+            self._inc,
+            sorted(self.p),
+            lambda searcher, atom: self._sweep_witness(
+                searcher, Literal.pos(atom)
+            ),
+        )
+        return frozenset(
+            atom for atom, witness in results.items() if witness is None
+        )
+
     def iter_minimal_models(
         self, max_models: Optional[int] = None
     ) -> Iterator[Interpretation]:
@@ -558,8 +679,14 @@ class PZMinimalModelSolver(_PooledSolverMixin):
                 # Free atoms: P-atoms are minimized to false; Q-atoms take
                 # both values (each valuation is minimal for its own
                 # Q-slice) and Z-atoms float, so every Q∪Z subset appears.
-                free = sorted(part.vocabulary - p_i)
-                models = [Interpretation(s) for s in _subsets(free)]
+                # Enumerated through the parent database's shared
+                # AtomTable so the product order is deterministic and
+                # identical across the kernel and pure representations.
+                models = list(
+                    subsets_in_table_order(
+                        atom_table_for(self.db), part.vocabulary - p_i
+                    )
+                )
             else:
                 with PZMinimalModelSolver(
                     part, p_i, z_i, engine=self.engine, reuse=self.reuse
@@ -575,12 +702,6 @@ class PZMinimalModelSolver(_PooledSolverMixin):
             produced += 1
             if max_models is not None and produced >= max_models:
                 return
-
-
-def _subsets(atoms: Sequence[str]) -> Iterator[Tuple[str, ...]]:
-    """All subsets of a (small) atom sequence, in binary-counter order."""
-    for mask in range(1 << len(atoms)):
-        yield tuple(atoms[i] for i in range(len(atoms)) if mask >> i & 1)
 
 
 # ----------------------------------------------------------------------

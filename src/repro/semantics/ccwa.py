@@ -49,14 +49,12 @@ class Ccwa(PartitionedSemantics):
             return frozenset(
                 x for x in p if not any(x in m for m in minimal)
             )
+        # One Σ₂ᵖ dispatch per P-atom, asked as a single batched
+        # incremental sweep sharing one solver scope.
         with PZMinimalModelSolver(
             db, p, z, reuse=self.sat_reuse
         ) as solver:
-            return frozenset(
-                x
-                for x in sorted(p)
-                if solver.find_minimal_satisfying(Var(x)) is None
-            )
+            return solver.free_p_atoms_sweep()
 
     def model_set(
         self, db: DisjunctiveDatabase

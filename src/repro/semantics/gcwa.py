@@ -51,13 +51,12 @@ def free_for_negation(
     db: DisjunctiveDatabase, reuse: bool = True
 ) -> FrozenSet[str]:
     """``ff(DB)`` via the Σ₂ᵖ primitive: ``x ∈ ff`` iff no minimal model
-    satisfies ``x`` (one ``find_minimal_satisfying`` query per atom)."""
-    free = set()
+    satisfies ``x`` — one Σ₂ᵖ dispatch per atom, asked as a single
+    batched incremental sweep (see
+    :meth:`~repro.sat.minimal.MinimalModelSolver.free_for_negation_sweep`)
+    so all |V| candidate literals share one solver scope."""
     with MinimalModelSolver(db, reuse=reuse) as engine:
-        for atom in sorted(db.vocabulary):
-            if engine.find_minimal_satisfying(Var(atom)) is None:
-                free.add(atom)
-    return frozenset(free)
+        return engine.free_for_negation_sweep()
 
 
 def augmented_database(

@@ -33,17 +33,25 @@ DATABASES = {
     "stratified-disjunctive": "a. b | c :- not a.",
     "unstratified-pair": "x :- not y. y :- not x.",
     "disjunctive-with-negation": "a | b. c :- a, not d. d :- b.",
+    # 14 connected atoms: past the kernel's priced-out point, so the
+    # PR 7 closure/founded dispatch is pinned on a large vocabulary.
+    "hcf-long-chain": (
+        "a | b. x1 :- a. x1 :- b. "
+        + " ".join(f"x{i + 1} :- x{i}." for i in range(1, 12))
+    ),
 }
 
 # (semantics, method) pairs covering every dispatch family: Horn
 # collapse, FF-reducible formula/literal closure, MM-reducible
-# inference, perfect collapse, and the non-collapsing pdsm control.
+# inference, perfect collapse, the supported tight fast path, and the
+# non-collapsing pdsm control.
 CASES = (
     ("cwa", "infers"), ("gcwa", "infers"), ("gcwa", "infers_literal"),
     ("ccwa", "infers_literal"), ("egcwa", "infers"),
     ("egcwa", "model_set"), ("ecwa", "infers_brave"),
     ("circ", "has_model"), ("icwa", "infers"),
     ("perf", "infers_literal"), ("dsm", "infers"), ("pdsm", "infers"),
+    ("supported", "infers"),
 )
 
 

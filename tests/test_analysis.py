@@ -33,6 +33,7 @@ from repro.analysis.planner import (
     HCF_PROCEDURE,
     HORN_COLLAPSE,
     HORN_PROCEDURE,
+    KERNEL_PROCEDURE,
 )
 from repro.analysis.procedures import (
     HeadCycleFreeSolver,
@@ -236,24 +237,48 @@ def test_planner_horn_dispatch():
 def test_planner_hcf_dispatch():
     prof = profile("a | b. c :- a. c :- b.")
     planner = FragmentPlanner()
-    # MM-reducible semantics answer with one founded search; the GCWA
-    # family's formula inference goes through the memoized ff closure.
+    # MM-reducible semantics answer with one founded search (cheaper
+    # than the kernel's setup constant on any profile).
     for name in ("egcwa", "ecwa", "dsm"):
         plan = planner.plan(prof, get_semantics(name), "infers")
         assert plan.procedure == HCF_PROCEDURE, name
         assert plan.claim == "coNP"
         assert plan.envelope_key == "hcf"
+    # The GCWA family's formula inference on a *small* vocabulary is
+    # cheapest on the bitset kernel (zero oracle calls); the literal
+    # reduction stays on the single founded search.
+    for name in ("gcwa", "ccwa"):
+        plan = planner.plan(prof, get_semantics(name), "infers")
+        assert plan.procedure == KERNEL_PROCEDURE, name
+        assert plan.claim == "EXP"
+        assert plan.envelope_key == "kernel"
+        literal_plan = planner.plan(
+            prof, get_semantics(name), "infers_literal"
+        )
+        assert literal_plan.procedure == HCF_PROCEDURE, name
+    # model_set on a small vocabulary also rides the kernel now (the
+    # enumeration is exactly what the kernel packs).
+    plan = planner.plan(prof, get_semantics("egcwa"), "model_set")
+    assert plan.procedure == KERNEL_PROCEDURE
+
+
+def test_planner_hcf_dispatch_large_vocabulary():
+    """Past the kernel's exponential sweep the PR 7 dispatch is intact:
+    the 26-bit-capped kernel term prices a 14-atom connected database
+    out, so the founded closure / default fallbacks win again."""
+    chain = " ".join(f"x{i + 1} :- x{i}." for i in range(1, 12))
+    prof = profile(f"a | b. x1 :- a. x1 :- b. {chain}")
+    assert prof.atoms == 14 and prof.component_count == 1
+    planner = FragmentPlanner()
     for name in ("gcwa", "ccwa"):
         plan = planner.plan(prof, get_semantics(name), "infers")
         assert plan.procedure == HCF_CLOSURE_PROCEDURE, name
         assert plan.claim == "coNP"
         assert plan.envelope_key == "hcf"
-        literal_plan = planner.plan(
-            prof, get_semantics(name), "infers_literal"
-        )
-        assert literal_plan.procedure == HCF_PROCEDURE, name
+    plan = planner.plan(prof, get_semantics("egcwa"), "infers")
+    assert plan.procedure == HCF_PROCEDURE
     # model_set has no NP-level reduction (there can be exponentially
-    # many minimal models), so it falls back.
+    # many minimal models) and the kernel is priced out: default.
     plan = planner.plan(prof, get_semantics("egcwa"), "model_set")
     assert plan.procedure == DEFAULT_PROCEDURE
 
@@ -268,8 +293,17 @@ def test_planner_respects_non_default_partition():
 
 
 def test_planner_head_cycle_falls_back():
+    # A head cycle disables every founded candidate.  On a tiny
+    # vocabulary the kernel (which needs no head-cycle-freeness — it
+    # enumerates) still wins; on a large one nothing is left but the
+    # default engine.
     prof = profile("a | b. a :- b. b :- a.")
     plan = FragmentPlanner().plan(prof, get_semantics("egcwa"), "infers")
+    assert plan.procedure == KERNEL_PROCEDURE
+    chain = " ".join(f"x{i + 1} :- x{i}." for i in range(1, 12))
+    big = profile(f"a | b. a :- b. b :- a. x1 :- a. {chain}")
+    assert big.atoms == 14
+    plan = FragmentPlanner().plan(big, get_semantics("egcwa"), "infers")
     assert plan.procedure == DEFAULT_PROCEDURE
 
 

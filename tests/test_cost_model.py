@@ -25,6 +25,8 @@ from repro.analysis.cost import (
     HCF_PROCEDURE,
     HORN_COLLAPSE,
     HORN_PROCEDURE,
+    KERNEL_PROCEDURE,
+    KERNEL_SETUP,
     MM_REDUCIBLE,
     PERFECT_COLLAPSE,
     STRATIFIED_PROCEDURE,
@@ -123,25 +125,33 @@ def test_hcf_exact_counts_small_db():
     assert COST_MODEL.ff_closure_np(prof, founded=True) == 7
     assert COST_MODEL.enumeration_nodes(prof) == 4  # 2^(1+1)
 
-    # MM family, formula inference: founded search vs one Σ₂ᵖ dispatch.
-    default, hcf = COST_MODEL.candidates(prof, "egcwa", "infers")
+    # MM family, formula inference: founded search vs one Σ₂ᵖ dispatch
+    # (the kernel candidate rides along since PR 8).
+    default, hcf, kernel = COST_MODEL.candidates(prof, "egcwa", "infers")
     assert default.procedure == DEFAULT_PROCEDURE
     assert (default.np_calls, default.sigma2_dispatches) == (3, 1)
     assert hcf.procedure == HCF_PROCEDURE
     assert (hcf.np_calls, hcf.sigma2_dispatches) == (2, 0)
+    assert kernel.procedure == KERNEL_PROCEDURE
+    assert (kernel.np_calls, kernel.sigma2_dispatches) == (0, 0)
+    assert kernel.nodes == KERNEL_SETUP + 2 ** 4  # minimal-only sweep
 
     # GCWA formula inference: per-atom Σ₂ᵖ closure vs founded closure.
-    default, closure = COST_MODEL.candidates(prof, "gcwa", "infers")
+    default, closure, kernel = COST_MODEL.candidates(prof, "gcwa", "infers")
     assert (default.np_calls, default.sigma2_dispatches) == (10, 3)
     assert closure.procedure == HCF_CLOSURE_PROCEDURE
     assert (closure.np_calls, closure.sigma2_dispatches) == (7, 0)
+    assert kernel.nodes == KERNEL_SETUP + 2 ** 4 + 2 ** 4  # + full sweep
 
     # GCWA literal: single-dispatch reduction on both sides.
-    default, founded = COST_MODEL.candidates(
+    default, founded, kernel = COST_MODEL.candidates(
         prof, "gcwa", "infers_literal"
     )
     assert (default.np_calls, default.sigma2_dispatches) == (3, 1)
     assert (founded.np_calls, founded.sigma2_dispatches) == (2, 0)
+    # Never-worse rule keeps the founded literal reduction in charge:
+    # the kernel's setup constant prices it above one founded search.
+    assert founded.scalar < kernel.scalar
 
 
 def test_strata_term_prices_stratified_iteration():
@@ -186,6 +196,10 @@ def test_ties_fall_back_to_default():
             # Founded searches priced exactly at the default dispatch's
             # scalar: no strict improvement anywhere.
             return model.sigma2_search_np(profile) + 2.0
+
+        def kernel_nodes(self, profile, semantics, method):
+            # Price the kernel out so the founded tie is what decides.
+            return 1e9
 
     chosen, table = Pessimist().choose(prof, "egcwa", "infers")
     specialized = next(

@@ -1,5 +1,5 @@
 """Differential test harness: planned vs. cached vs. oracle vs. fresh
-vs. brute.
+vs. brute, plus the opposite-representation kernel leg.
 
 Seeded random databases from :mod:`repro.workloads.random_db`, one batch
 per syntactic regime, are cross-checked across every registered paper
@@ -7,8 +7,10 @@ semantics applicable to that regime: the memoizing ``cached`` engine,
 the pooled incremental ``oracle`` decision procedures, the identical
 procedures on throwaway ``fresh`` solvers, the fragment-dispatching
 ``planned`` engine (Horn unit propagation / head-cycle-free foundedness
-fast paths where the profile allows, oracle fallback elsewhere), and the
-``brute`` ground-truth enumerator must agree on ``model_set``,
+fast paths where the profile allows, oracle fallback elsewhere), the
+``kernel`` leg (the brute enumerator re-run on the opposite
+interpretation representation — bitset masks vs. pure frozensets), and
+the ``brute`` ground-truth enumerator must agree on ``model_set``,
 ``infers`` (on a seeded random query formula), ``infers_literal`` (both
 polarities) and ``has_model``.
 
@@ -80,12 +82,12 @@ def build_db(regime: str, seed: int):
 
 def engines(name: str):
     """(brute ground truth, pooled oracle, fresh-solver oracle,
-    memoizing cached, fragment-planned)."""
+    memoizing cached, fragment-planned, opposite-kernel brute)."""
     return differential_stack(name)
 
 
 def check_agreement(db, names, query_seed: int = 0) -> None:
-    """Assert five-engine agreement on every decision problem.
+    """Assert six-engine agreement on every decision problem.
 
     ``oracle`` runs the decision procedures on pooled incremental
     solvers, ``fresh`` runs the identical procedures on throwaway
@@ -94,7 +96,9 @@ def check_agreement(db, names, query_seed: int = 0) -> None:
     fresh-solver ground truth on every database of the corpus.
     ``planned`` additionally pins the fragment fast paths (Horn least
     model, head-cycle-free foundedness) to the same ground truth on
-    every database whose profile triggers them.
+    every database whose profile triggers them, and ``kernel``
+    re-answers every probe on the opposite interpretation
+    representation so the bitset and pure code paths stay equivalent.
     """
     query = random_query_formula(
         sorted(db.vocabulary), depth=2, seed=query_seed

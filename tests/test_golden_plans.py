@@ -67,5 +67,5 @@ def test_golden_corpus_covers_every_procedure():
     procedures = {entry["expected"]["procedure"] for entry in GOLDEN}
     assert procedures == {
         "default", "horn-least-model", "hcf-founded", "hcf-closure",
-        "stratified-perfect",
+        "stratified-perfect", "kernel-bitset",
     }
