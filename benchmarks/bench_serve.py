@@ -1,0 +1,274 @@
+"""Load benchmark for the serve daemon (PR 9).
+
+Drives the in-process HTTP daemon with 1 / 8 / 64 concurrent keep-alive
+clients sweeping the four seeded regimes across mixed tasks, and records
+per-concurrency-level:
+
+* **latency** — client-observed p50 / p99 milliseconds per query;
+* **throughput** — served queries per second;
+* **amortisation** — engine-cache hit rate and solver-pool reuse rate
+  over the level (deltas of the process-wide counters), plus the mean
+  coalesced batch width;
+* **admission** — rejected queries (should be 0 at the default bound).
+
+The results land in ``BENCH_serve.json`` so CI and the README table
+consume the same numbers::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py                # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke \
+        --output /tmp/bench.json                                   # CI
+
+``--check`` exits nonzero if any level served an error or diverged from
+the single-threaded ``cached`` oracle (every response is differentially
+checked while the load runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.engine.cache import cache_stats, clear_cache  # noqa: E402
+from repro.sat.incremental import solver_pool_stats  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AsyncServeClient,
+    QueryService,
+    ReproServer,
+    canonical_db_id,
+)
+from repro.session import DatabaseSession  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    random_deductive_db,
+    random_normal_db,
+    random_positive_db,
+    random_query_formula,
+    random_stratified_db,
+)
+
+REGIME_BUILDERS = {
+    "positive": lambda seed: random_positive_db(4, 4, seed=seed),
+    "deductive": lambda seed: random_deductive_db(4, 5, seed=seed),
+    "stratified": lambda seed: random_stratified_db(4, 5, seed=seed),
+    "normal": lambda seed: random_normal_db(
+        4, 5, ic_fraction=0.15, seed=seed
+    ),
+}
+
+SEMANTICS = ("gcwa", "egcwa", "dsm")
+
+
+def percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def build_cases(seeds_per_regime):
+    """(text, vocab, db_id, semantics, task, query, expected) tuples,
+    expected answers precomputed against the cached oracle."""
+    cases = []
+    for regime, build in REGIME_BUILDERS.items():
+        for seed in range(seeds_per_regime):
+            db = build(seed)
+            text = str(db)
+            vocab = sorted(db.vocabulary)
+            db_id = canonical_db_id(db)
+            atoms = sorted(db.vocabulary)
+            formula = str(random_query_formula(atoms, depth=2, seed=seed))
+            for semantics in SEMANTICS:
+                oracle = DatabaseSession(db, engine="cached")
+                tasks = [
+                    ("infers", formula, oracle.ask(
+                        formula, semantics=semantics).verdict),
+                    ("infers_literal", f"~{atoms[0]}", oracle.ask_literal(
+                        f"~{atoms[0]}", semantics).verdict),
+                    ("has_model", None, oracle.has_model(semantics)),
+                    ("model_set", None, sorted(
+                        sorted(m) for m in oracle.models(semantics))),
+                ]
+                for task, query, expected in tasks:
+                    cases.append((
+                        text, vocab, db_id, semantics, task, query,
+                        expected,
+                    ))
+    return cases
+
+
+def run_level(clients, cases, total_queries, workers):
+    """One concurrency level against a fresh service; returns the row."""
+    service = QueryService(engine="cached", workers=workers, max_queue=1024)
+    latencies = []
+    divergences = []
+    errors = []
+
+    jobs = [cases[i % len(cases)] for i in range(total_queries)]
+    per_client = [jobs[i::clients] for i in range(clients)]
+
+    async def worker(port, assigned):
+        client = AsyncServeClient("127.0.0.1", port)
+        await client.connect()
+        try:
+            registered = set()
+            for text, vocab, db_id, semantics, task, query, want in assigned:
+                if db_id not in registered:
+                    await client.register(text, vocabulary=vocab)
+                    registered.add(db_id)
+                start = time.perf_counter()
+                response = await client.query(
+                    db_id, task=task, semantics=semantics, query=query
+                )
+                latencies.append(
+                    (time.perf_counter() - start) * 1000.0
+                )
+                if response.status != 200:
+                    errors.append(response.payload)
+                    continue
+                got = (
+                    response.payload["models"]
+                    if task == "model_set"
+                    else response.payload["verdict"]
+                )
+                if got != want:
+                    divergences.append(
+                        (db_id, semantics, task, query, got, want)
+                    )
+        finally:
+            await client.close()
+
+    cache_before = cache_stats()
+    pool_before = solver_pool_stats()
+
+    async def main():
+        async with ReproServer(service) as server:
+            started = time.perf_counter()
+            await asyncio.gather(
+                *(worker(server.port, chunk) for chunk in per_client)
+            )
+            return time.perf_counter() - started
+
+    elapsed = asyncio.run(main())
+    cache_after = cache_stats()
+    pool_after = solver_pool_stats()
+    stats = service.stats()
+
+    cache_hits = cache_after["hits"] - cache_before["hits"]
+    cache_misses = cache_after["misses"] - cache_before["misses"]
+    pool_created = (
+        pool_after["solvers_created"] - pool_before["solvers_created"]
+    )
+    pool_reused = (
+        pool_after["solver_reuses"] - pool_before["solver_reuses"]
+    )
+    lookups = cache_hits + cache_misses
+    checkouts = pool_created + pool_reused
+    return {
+        "clients": clients,
+        "queries": total_queries,
+        "errors": len(errors),
+        "divergences": len(divergences),
+        "admission_rejects": stats["rejected"],
+        "elapsed_s": round(elapsed, 3),
+        "queries_per_s": round(total_queries / elapsed, 1),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "mean": round(sum(latencies) / len(latencies), 3),
+        },
+        "mean_batch_width": stats["mean_batch_width"],
+        "cache_hit_rate": (
+            round(cache_hits / lookups, 3) if lookups else 0.0
+        ),
+        "pool_reuse_rate": (
+            round(pool_reused / checkouts, 3) if checkouts else 0.0
+        ),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sweep for CI (fewer queries, levels 1 and 8)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_serve.json",
+        help="where to write the JSON results (default BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero on any error response or oracle divergence",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="service evaluation threads (default 4)",
+    )
+    args = parser.parse_args(argv)
+
+    levels = [1, 8] if args.smoke else [1, 8, 64]
+    seeds = 2 if args.smoke else 3
+    queries_per_level = 200 if args.smoke else 1000
+
+    cases = build_cases(seeds)
+    print(
+        f"bench_serve: {len(cases)} distinct cases, "
+        f"{queries_per_level} queries per level, levels {levels}",
+        flush=True,
+    )
+    rows = []
+    for clients in levels:
+        # Start each level cold so its cache-hit rate measures the
+        # level's own amortisation, not the oracle precompute above.
+        clear_cache()
+        row = run_level(clients, cases, queries_per_level, args.workers)
+        rows.append(row)
+        print(
+            f"  clients={clients:3d}  qps={row['queries_per_s']:8.1f}  "
+            f"p50={row['latency_ms']['p50']:7.3f}ms  "
+            f"p99={row['latency_ms']['p99']:7.3f}ms  "
+            f"batch_width={row['mean_batch_width']:.2f}  "
+            f"cache_hit={row['cache_hit_rate']:.2f}  "
+            f"pool_reuse={row['pool_reuse_rate']:.2f}",
+            flush=True,
+        )
+
+    report = {
+        "benchmark": "pr9-serve",
+        "engine": "cached",
+        "workers": args.workers,
+        "smoke": bool(args.smoke),
+        "levels": rows,
+    }
+    Path(args.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"bench_serve: wrote {args.output}", flush=True)
+
+    if args.check:
+        bad = [
+            row for row in rows
+            if row["errors"] or row["divergences"]
+        ]
+        if bad:
+            print(
+                "bench_serve: FAILED — errors or divergences under load: "
+                + json.dumps(bad),
+                flush=True,
+            )
+            return 1
+        print("bench_serve: check passed (no errors, no divergences)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,10 @@ Subcommands:
 * ``faults [FILE]`` — deterministic fault-injection demo: run a query
   under a seeded :class:`~repro.runtime.faults.FaultPlan` and print the
   degradation path taken;
+* ``serve`` — run the multi-tenant async query daemon: per-tenant
+  sessions over HTTP with admission control, cross-request batching,
+  QoS budget headers, ``/metrics`` and ``/trace`` endpoints
+  (see ``docs/serving_guide.md``);
 * ``trace FILE --query F`` — run queries under a recording
   :class:`~repro.obs.trace.Tracer` and print the span tree (or JSON
   lines with ``--jsonl``), the per-query complexity certificates, and
@@ -464,6 +468,38 @@ def _cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def _cmd_serve(args) -> int:
+    from .runtime import Budget
+    from .serve import QueryService, run_server
+    from .serve.server import DEFAULT_TENANT
+
+    default_budget = None
+    if (
+        args.default_timeout_ms is not None
+        or args.default_max_sat_calls is not None
+    ):
+        default_budget = Budget(
+            wall_ms=args.default_timeout_ms,
+            max_sat_calls=args.default_max_sat_calls,
+        )
+    service = QueryService(
+        engine=args.engine,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        default_budget=default_budget,
+    )
+    for path in args.preload or ():
+        db = _read_database(path)
+        info = service.register_database(DEFAULT_TENANT, str(db))
+        print(f"preloaded {path} as db {info['db']}")
+    return run_server(
+        service=service,
+        host=args.host,
+        port=args.port,
+        tracing=not args.no_trace,
+    )
+
+
 def _cmd_hunt(args) -> int:
     import json as _json
 
@@ -827,6 +863,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the rule catalog and exit",
     )
     lint_cmd.set_defaults(handler=_cmd_lint)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help=(
+            "run the multi-tenant async query daemon (HTTP JSON API, "
+            "/metrics exposition, /trace drain)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8035,
+        help="bind port (0 picks an ephemeral port)",
+    )
+    serve_cmd.add_argument(
+        "--engine",
+        choices=("cached", "planned", "resilient", "oracle"),
+        default="cached",
+        help="session engine backing every tenant session",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=4,
+        help="evaluation threads (= maximum concurrent batches)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue", type=int, default=64,
+        help="per-tenant admission bound (queued + running queries)",
+    )
+    serve_cmd.add_argument(
+        "--default-timeout-ms", type=float, default=None,
+        help="wall-clock budget applied when a request sets no QoS header",
+    )
+    serve_cmd.add_argument(
+        "--default-max-sat-calls", type=int, default=None,
+        help="SAT-call budget applied when a request sets no QoS header",
+    )
+    serve_cmd.add_argument(
+        "--preload", action="append", metavar="FILE",
+        help="database file to register for the default tenant (repeatable)",
+    )
+    serve_cmd.add_argument(
+        "--no-trace", action="store_true",
+        help="do not install the recording tracer behind /trace",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
 
     hunt_cmd = commands.add_parser(
         "hunt",

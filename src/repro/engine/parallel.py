@@ -157,7 +157,7 @@ def parallel_all_models(
                 ]
             chunks.extend(results)
         for ft, ff in crashed:
-            RUNTIME_STATS.worker_crashes_recovered += 1
+            RUNTIME_STATS.inc("worker_crashes_recovered")
             chunks.append(models_in_block(db, ft, ff))
         atoms = sorted(db.vocabulary)
         rank = {a: i for i, a in enumerate(atoms)}
@@ -240,7 +240,7 @@ def parallel_minimal_models(
                 ]
             filtered.extend(results)
         for chunk in crashed:
-            RUNTIME_STATS.worker_crashes_recovered += 1
+            RUNTIME_STATS.inc("worker_crashes_recovered")
             filtered.append(_minimality_chunk((chunk, models)))
         span.set_attributes(crashed_chunks=len(crashed))
         return [m for chunk in filtered for m in chunk]
@@ -282,6 +282,6 @@ def parallel_map(
         for (index, _), value in zip(dispatched, mapped):
             results[index] = value
     for index in crashed_indices:
-        RUNTIME_STATS.worker_crashes_recovered += 1
+        RUNTIME_STATS.inc("worker_crashes_recovered")
         results[index] = fn(items[index])
     return results

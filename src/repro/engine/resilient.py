@@ -187,7 +187,7 @@ class ResilientSemantics(Semantics):
                 last_exc = exc
                 delay = next(delays, None)
                 if delay is not None:
-                    RUNTIME_STATS.retries += 1
+                    RUNTIME_STATS.inc("retries")
                     self._event(
                         "retry",
                         attempt=attempts,
@@ -199,7 +199,7 @@ class ResilientSemantics(Semantics):
         # Retries exhausted on transient faults: degrade to the fallback
         # engine (which shares no SAT fault surface with the primary).
         if self.fallback is not None:
-            RUNTIME_STATS.fallbacks += 1
+            RUNTIME_STATS.inc("fallbacks")
             self._event(
                 "fallback",
                 engine=self.fallback.engine,
@@ -236,7 +236,7 @@ class ResilientSemantics(Semantics):
     def _timeout(
         self, exc: BudgetExceeded, attempts: int, faults: int
     ) -> Outcome:
-        RUNTIME_STATS.timeouts += 1
+        RUNTIME_STATS.inc("timeouts")
         self._event(
             "timeout", resource=exc.resource, attempts=attempts,
         )

@@ -189,6 +189,21 @@ class RuntimeStats:
         except KeyError:
             raise AttributeError(name) from None
 
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically add to one counter.
+
+        ``RUNTIME_STATS.retries += 1`` expands to a locked read followed
+        by a locked write — two threads can interleave between them and
+        lose an update.  Concurrent call sites (everything reachable from
+        the serve layer's worker threads) must use this single-lock path
+        instead.
+        """
+        counters = object.__getattribute__(self, "_counters")
+        try:
+            counters[name].inc(amount)
+        except KeyError:
+            raise AttributeError(name) from None
+
     def snapshot(self) -> Dict[str, int]:
         """The counters as a flat dict (``SatSolver.stats()`` style)."""
         counters = object.__getattribute__(self, "_counters")
@@ -259,7 +274,7 @@ class BudgetScope:
     def _trip(self, resource: str) -> None:
         error = BudgetExceeded(resource, self.budget, self.usage())
         self.exceeded = error
-        RUNTIME_STATS.budgets_exceeded += 1
+        RUNTIME_STATS.inc("budgets_exceeded")
         raise error
 
     def check(self) -> None:
@@ -339,7 +354,7 @@ def budget_scope(budget: Budget) -> Iterator[BudgetScope]:
     scope = BudgetScope(budget)
     scope.parent = _ACTIVE.get()
     token = _ACTIVE.set(scope)
-    RUNTIME_STATS.scopes_entered += 1
+    RUNTIME_STATS.inc("scopes_entered")
     try:
         yield scope
     finally:

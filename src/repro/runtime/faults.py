@@ -110,7 +110,7 @@ class FaultPlan:
             and self._latency_rng.random() < self.latency_rate
         ):
             self.latency_injections += 1
-            RUNTIME_STATS.latency_injections += 1
+            RUNTIME_STATS.inc("latency_injections")
             if self.latency_ms > 0:
                 self._sleeper(self.latency_ms / 1000.0)
         if (
@@ -122,7 +122,7 @@ class FaultPlan:
             )
         ):
             self.sat_faults += 1
-            RUNTIME_STATS.sat_faults_injected += 1
+            RUNTIME_STATS.inc("sat_faults_injected")
             raise FaultInjected(
                 f"injected transient SAT fault #{self.sat_faults} "
                 f"(seed {self.seed}, call {self.sat_calls_seen})"
@@ -135,7 +135,7 @@ class FaultPlan:
             return False
         if self._worker_rng.random() < self.worker_crash_rate:
             self.worker_crashes += 1
-            RUNTIME_STATS.worker_crashes_injected += 1
+            RUNTIME_STATS.inc("worker_crashes_injected")
             return True
         return False
 

@@ -1,0 +1,58 @@
+"""The serving layer: a multi-tenant async query daemon.
+
+Turns :class:`~repro.session.DatabaseSession` into a service:
+
+* :mod:`repro.serve.service` — :class:`QueryService`: tenant registry,
+  bounded admission queues, cross-request batching onto shared
+  sessions / solver-pool scopes, QoS budgets, structured errors;
+* :mod:`repro.serve.server` — the asyncio HTTP daemon
+  (:class:`ReproServer`), ``/metrics`` Prometheus exposition, ``/trace``
+  JSONL drain, and :class:`BackgroundServer` for synchronous embedders;
+* :mod:`repro.serve.client` — keep-alive async + sync clients;
+* :mod:`repro.serve.http` — the dependency-free HTTP/1.1 framing.
+
+See ``docs/serving_guide.md`` for endpoints, QoS headers, batching
+semantics and the metrics reference.
+"""
+
+from .http import HttpError, Request, Response
+from .client import AsyncServeClient, ServeClient, budget_headers
+from .server import (
+    BackgroundServer,
+    DEFAULT_TENANT,
+    ReproServer,
+    budget_from_headers,
+    run_server,
+)
+from .service import (
+    BatchKey,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_WORKERS,
+    ItemResult,
+    QueryItem,
+    QueryService,
+    TASKS,
+    canonical_db_id,
+)
+
+__all__ = [
+    "AsyncServeClient",
+    "BackgroundServer",
+    "BatchKey",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_TENANT",
+    "DEFAULT_WORKERS",
+    "HttpError",
+    "ItemResult",
+    "QueryItem",
+    "QueryService",
+    "ReproServer",
+    "Request",
+    "Response",
+    "ServeClient",
+    "TASKS",
+    "budget_from_headers",
+    "budget_headers",
+    "canonical_db_id",
+    "run_server",
+]

@@ -1,0 +1,298 @@
+"""Thread/task-safety audit of the process-wide singletons.
+
+The serve layer runs evaluation on a thread pool, so every global it
+touches must hold up under interleaving: the engine LRU cache
+(:data:`repro.engine.cache.ENGINE_CACHE`), the solver pool
+(:data:`repro.sat.incremental.SOLVER_POOL`), the metrics registry
+(:data:`repro.obs.metrics.METRICS`), the runtime counter facade
+(:data:`repro.runtime.budget.RUNTIME_STATS`) and the module-global
+tracer.  Each test here drives a *fresh* instance of the class behind
+the singleton from many threads with hypothesis-chosen schedules and
+asserts exact counter arithmetic — lost updates show up as off-by-N.
+
+One test is a pure source scan: the audit found that
+``RUNTIME_STATS.<counter> += 1`` expands to a locked read followed by a
+locked write (two critical sections, not one), which loses updates under
+interleaving.  Every call site was migrated to the atomic
+:meth:`~repro.runtime.budget.RuntimeStats.inc`; the scan keeps the racy
+pattern from creeping back.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cache import EngineCache
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.runtime.budget import RUNTIME_STATS
+from repro.sat.incremental import SolverPool
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def run_threads(count, target):
+    """Start ``count`` threads on ``target(index)`` and join them all;
+    re-raise the first worker exception in the caller."""
+    errors = []
+
+    def wrap(index):
+        try:
+            target(index)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrap, args=(index,))
+        for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+# ----------------------------------------------------------------------
+# Engine LRU cache
+# ----------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(
+    threads=st.integers(min_value=2, max_value=8),
+    keys=st.integers(min_value=1, max_value=6),
+    rounds=st.integers(min_value=5, max_value=40),
+)
+def test_engine_cache_interleaved_get_or_compute(threads, keys, rounds):
+    """Racing lookups never observe a wrong value, and the hit/miss
+    arithmetic reconciles exactly with the number of lookups."""
+    cache = EngineCache(maxsize=64)
+    builds = []
+    build_lock = threading.Lock()
+
+    def worker(index):
+        for round_no in range(rounds):
+            key = (index + round_no) % keys
+
+            def builder(key=key):
+                with build_lock:
+                    builds.append(key)
+                return ("value", key)
+
+            value = cache.get_or_compute("kind", key, builder)
+            assert value == ("value", key)
+
+    run_threads(threads, worker)
+    stats = cache.stats()
+    lookups = threads * rounds
+    assert stats["hits"] + stats["misses"] == lookups
+    # Racing threads may each observe a miss for the same key, but the
+    # cache ends up with exactly the distinct keys, no duplicates/loss.
+    assert len(cache) == keys
+    assert stats["misses"] >= keys
+    assert stats["misses"] == len(builds)
+    assert stats["evictions"] == 0
+
+
+def test_engine_cache_first_store_wins_on_race():
+    """When two threads miss the same key, every caller gets the one
+    stored value (no torn publication)."""
+    cache = EngineCache(maxsize=8)
+    barrier = threading.Barrier(4)
+    seen = []
+    seen_lock = threading.Lock()
+
+    def worker(index):
+        barrier.wait()
+
+        def builder():
+            return ("built-by", index)
+
+        value = cache.get_or_compute("race", "k", builder)
+        with seen_lock:
+            seen.append(value)
+
+    run_threads(4, worker)
+    # All four observed the same winning value, which is the cached one.
+    assert len(set(seen)) == 1
+    assert cache.peek("race", "k") == seen[0]
+
+
+# ----------------------------------------------------------------------
+# Solver pool
+# ----------------------------------------------------------------------
+
+class _StubSolver:
+    """Just enough surface for SolverPool bookkeeping."""
+
+    def __init__(self):
+        self.scopes_retired = 0
+        self._last_checkout_token = None
+
+    def num_learned(self):
+        return 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    threads=st.integers(min_value=2, max_value=8),
+    keys=st.integers(min_value=1, max_value=3),
+    rounds=st.integers(min_value=5, max_value=30),
+)
+def test_solver_pool_checkout_exclusivity(threads, keys, rounds):
+    """A checked-out solver is never concurrently held by two threads,
+    and the created/reused/released counters reconcile exactly."""
+    pool = SolverPool(maxsize=8)
+    in_use = set()
+    in_use_lock = threading.Lock()
+
+    def worker(index):
+        for round_no in range(rounds):
+            key = (index + round_no) % keys
+            solver = pool.acquire(key, _StubSolver)
+            with in_use_lock:
+                # acquire() removes the solver from the pool, so no
+                # other thread may hold this exact instance right now.
+                assert id(solver) not in in_use
+                in_use.add(id(solver))
+            with in_use_lock:
+                in_use.remove(id(solver))
+            pool.release(key, solver)
+
+    run_threads(threads, worker)
+    acquires = threads * rounds
+    stats = pool.stats()
+    assert (
+        stats["solvers_created"]
+        + stats["solver_reuses"]
+        + stats["solver_repeat_checkouts"]
+        == acquires
+    )
+    assert stats["solver_releases"] == acquires
+    # Conservation: only acquire() creates instances, so the pool can
+    # never hold more solvers than were ever built, nor exceed its
+    # bound, and discards/evictions can't outnumber releases.
+    assert stats["solvers_pooled"] <= stats["pool_maxsize"]
+    assert stats["solvers_pooled"] <= stats["solvers_created"]
+    assert (
+        stats["solvers_discarded"] + stats["solver_evictions"]
+        <= stats["solver_releases"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+def test_metrics_counters_exact_under_threads():
+    registry = MetricsRegistry()
+    counter = registry.counter("ts_total", "racing counter")
+    labelled = registry.counter(
+        "ts_labelled_total", "racing family", labelnames=("who",)
+    )
+    hist = registry.histogram(
+        "ts_hist", "racing histogram", buckets=(1.0, 10.0)
+    )
+    gauge = registry.gauge("ts_gauge", "racing gauge")
+    per_thread = 400
+
+    def worker(index):
+        child = labelled.labels(who=f"w{index % 2}")
+        for value in range(per_thread):
+            counter.inc()
+            child.inc()
+            hist.observe(float(value % 5))
+            gauge.inc()
+            gauge.dec()
+
+    run_threads(8, worker)
+    assert counter.value == 8 * per_thread
+    assert (
+        labelled.labels(who="w0").value
+        + labelled.labels(who="w1").value
+        == 8 * per_thread
+    )
+    assert hist.count == 8 * per_thread
+    assert hist.sum == 8 * sum(v % 5 for v in range(per_thread))
+    assert gauge.value == 0
+    # The exposition renders mid-traffic state without tearing.
+    assert "ts_total 3200" in registry.expose()
+
+
+# ----------------------------------------------------------------------
+# Runtime counter facade
+# ----------------------------------------------------------------------
+
+def test_runtime_stats_inc_is_atomic():
+    """Regression for the audited race: the ``+=`` facade was a locked
+    read then a locked write, so concurrent bumps lost updates.  The
+    atomic ``inc`` must account every single bump."""
+    before = RUNTIME_STATS.snapshot()["budgets_exceeded"]
+    per_thread = 500
+
+    def worker(index):
+        for _ in range(per_thread):
+            RUNTIME_STATS.inc("budgets_exceeded")
+
+    run_threads(8, worker)
+    after = RUNTIME_STATS.snapshot()["budgets_exceeded"]
+    assert after - before == 8 * per_thread
+    # Put the counter back so other tests' snapshots stay meaningful.
+    RUNTIME_STATS.budgets_exceeded = before
+
+
+def test_runtime_stats_inc_rejects_unknown_counter():
+    try:
+        RUNTIME_STATS.inc("not_a_counter")
+    except AttributeError:
+        pass
+    else:  # pragma: no cover - regression guard
+        raise AssertionError("inc() accepted an unknown counter name")
+
+
+def test_no_read_modify_write_on_runtime_stats_in_src():
+    """No production call site may use the ``RUNTIME_STATS.x += n``
+    pattern — it is two critical sections, not one, and loses updates
+    under threads.  (Docstrings may mention it; code may not.)"""
+    racy = re.compile(r"^\s*RUNTIME_STATS\.\w+\s*\+=", re.MULTILINE)
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if racy.search(path.read_text(encoding="utf-8")):
+            offenders.append(str(path))
+    assert offenders == []
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+
+def test_tracer_spans_from_many_threads():
+    """Spans opened on the shared tracer from different threads keep
+    their own parent stacks (the current-span slot is a ContextVar, so
+    each thread nests independently) and every finished root lands in
+    the ring buffer exactly once."""
+    tracer = Tracer(max_finished=256)
+    roots_per_thread = 20
+
+    def worker(index):
+        for round_no in range(roots_per_thread):
+            with tracer.span(f"root-{index}-{round_no}") as root:
+                with tracer.span("child") as child:
+                    child.set_attribute("thread", index)
+                assert tracer.current() is root
+
+    run_threads(6, worker)
+    roots = tracer.finished_roots()
+    assert len(roots) == 6 * roots_per_thread
+    names = {span.name for span in roots}
+    assert len(names) == 6 * roots_per_thread  # no root lost or doubled
+    for line in tracer.export_jsonl().splitlines():
+        record = json.loads(line)
+        assert len(record["children"]) == 1
