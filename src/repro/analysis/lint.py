@@ -251,17 +251,51 @@ def _rule_conp_purity(path: Path, tree: ast.Module) -> Iterator[Finding]:
             )
 
 
+def _alias_map(tree: ast.Module) -> Dict[str, str]:
+    """Resolve simple local aliases (``step = solver.solve`` /
+    ``step = run``) to the rightmost underlying name, so RPR004 cannot
+    be dodged by binding ``solve`` to a local before the loop."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            continue
+        value = node.value
+        if isinstance(value, ast.Attribute):
+            aliases[node.targets[0].id] = value.attr
+        elif isinstance(value, ast.Name):
+            aliases[node.targets[0].id] = value.id
+
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in aliases and name not in seen:
+            seen.add(name)
+            if aliases[name] == name:
+                break
+            name = aliases[name]
+        return name
+
+    return {name: resolve(name) for name in aliases}
+
+
 def _rule_budgeted_loops(
     path: Path, tree: ast.Module
 ) -> Iterator[Finding]:
+    aliases = _alias_map(tree)
     for node in ast.walk(tree):
         if not isinstance(node, ast.While):
             continue
-        calls = {
-            _call_name(inner)
-            for inner in _walk_same_scope(node)
-            if isinstance(inner, ast.Call)
-        }
+        calls = set()
+        for inner in _walk_same_scope(node):
+            if not isinstance(inner, ast.Call):
+                continue
+            name = _call_name(inner)
+            calls.add(name)
+            if isinstance(inner.func, ast.Name):
+                calls.add(aliases.get(name, name))
         if "solve" in calls and "check_deadline" not in calls:
             yield Finding(
                 "RPR004", str(path), node.lineno, node.col_offset,
@@ -358,12 +392,13 @@ RULES: Dict[
 _WAIVER_MARK = "# lint: ok"
 
 
-def _waived_rules(line: str) -> frozenset:
-    """Rule ids waived by ``# lint: ok RPR001 RPR004 [-- rationale]``."""
-    index = line.find(_WAIVER_MARK)
+def _waived_rules(line: str, mark: str = _WAIVER_MARK) -> frozenset:
+    """Rule ids waived by ``# lint: ok RPR001 RPR004 [-- rationale]``
+    (the whole-program checker reuses this with ``# static: ok``)."""
+    index = line.find(mark)
     if index < 0:
         return frozenset()
-    tail = line[index + len(_WAIVER_MARK):]
+    tail = line[index + len(mark):]
     tail = tail.split("--", 1)[0]
     return frozenset(
         token for token in tail.replace(",", " ").split()
@@ -371,11 +406,16 @@ def _waived_rules(line: str) -> frozenset:
     )
 
 
-def _is_waived(finding: Finding, lines: Sequence[str]) -> bool:
+def _is_waived(
+    finding: Finding,
+    lines: Sequence[str],
+    marks: Sequence[str] = (_WAIVER_MARK,),
+) -> bool:
     for lineno in (finding.line, finding.line - 1):
         if 1 <= lineno <= len(lines):
-            if finding.rule in _waived_rules(lines[lineno - 1]):
-                return True
+            for mark in marks:
+                if finding.rule in _waived_rules(lines[lineno - 1], mark):
+                    return True
     return False
 
 
@@ -443,32 +483,63 @@ def main(argv: Sequence[str] = None) -> int:
         "--rules", action="store_true",
         help="list the rule catalog and exit",
     )
+    parser.add_argument(
+        "--baseline", type=Path, metavar="JSON",
+        help="gate on findings NOT in this baseline (CI: fail only on "
+        "new findings)",
+    )
+    parser.add_argument(
+        "--write-baseline", type=Path, metavar="JSON",
+        help="record the current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="only report findings in files changed vs. git HEAD",
+    )
     args = parser.parse_args(argv)
     if args.rules:
         for rule_id, (summary, _) in sorted(RULES.items()):
             print(f"{rule_id}  {summary}")
         return 0
+    from . import baseline as baseline_mod
+
     targets = args.paths or [default_target()]
     findings = lint_paths(targets)
-    if args.format == "json":
+    if args.diff:
+        changed = baseline_mod.changed_files()
+        if changed is not None:
+            findings = baseline_mod.restrict_to_changed(findings, changed)
+    if args.write_baseline is not None:
+        baseline_mod.save_baseline(findings, args.write_baseline)
         print(
-            json.dumps(
-                {
-                    "findings": [f.as_dict() for f in findings],
-                    "count": len(findings),
-                },
-                indent=2,
-                ensure_ascii=False,
-            )
+            f"baseline of {len(findings)} finding(s) written to "
+            f"{args.write_baseline}"
         )
+        return 0
+    gated = findings
+    if args.baseline is not None:
+        gated = baseline_mod.filter_new(
+            findings, baseline_mod.load_baseline(args.baseline)
+        )
+    if args.format == "json":
+        report = {
+            "findings": [f.as_dict() for f in findings],
+            "count": len(findings),
+        }
+        if args.baseline is not None:
+            report["new"] = [f.as_dict() for f in gated]
+            report["new_count"] = len(gated)
+        print(json.dumps(report, indent=2, ensure_ascii=False))
     else:
         for finding in findings:
-            print(finding.render())
+            marker = "" if finding in gated else " [baselined]"
+            print(finding.render() + marker)
         print(
-            f"{len(findings)} finding(s) in "
+            f"{len(findings)} finding(s) "
+            f"({len(gated)} new) in "
             f"{len(list(iter_python_files(targets)))} file(s)"
         )
-    return 1 if findings else 0
+    return 1 if gated else 0
 
 
 if __name__ == "__main__":

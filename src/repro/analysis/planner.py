@@ -420,6 +420,7 @@ class PlannedSemantics(Semantics):
                 "model_set", self._answer_key(db),
                 lambda: self._kernel_engine().model_set(db),
             )
+        # static: fallback-edge -- planner's never-worse default
         return self.fallback.model_set(db)
 
     def infers(self, db: DisjunctiveDatabase, formula: Formula) -> bool:
@@ -451,6 +452,7 @@ class PlannedSemantics(Semantics):
                     db, ground_query(db, formula)
                 ),
             )
+        # static: fallback-edge -- planner's never-worse default
         return self.fallback.infers(db, formula)
 
     def infers_literal(
@@ -479,6 +481,7 @@ class PlannedSemantics(Semantics):
                 "infers_literal", self._answer_key(db, literal),
                 lambda: self._hcf_infers_literal(db, literal),
             )
+        # static: fallback-edge -- planner's never-worse default
         return self.fallback.infers_literal(db, literal)
 
     def infers_brave(
@@ -506,6 +509,7 @@ class PlannedSemantics(Semantics):
                 "infers_brave", self._answer_key(db, formula),
                 lambda: self._hcf_witness(db, grounded),
             )
+        # static: fallback-edge -- planner's never-worse default
         return self.fallback.infers_brave(db, formula)
 
     def has_model(self, db: DisjunctiveDatabase) -> bool:
@@ -521,6 +525,7 @@ class PlannedSemantics(Semantics):
                 "has_model", self._answer_key(db),
                 lambda: self._kernel_engine().has_model(db),
             )
+        # static: fallback-edge -- planner's never-worse default
         return self.fallback.has_model(db)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,39 @@
+"""Whole-program static certification for the ``repro`` package.
+
+Two cooperating passes over one import-aware call graph
+(:mod:`.callgraph`):
+
+* :mod:`.complexity` — **Pass 1**: proves every semantics entry point
+  can only reach primitive realizations (NP ``solve()``, Σ₂ᵖ
+  ``find_minimal_satisfying``, EXP brute enumerators) consistent with
+  its Table 1/2 class as claimed in :mod:`repro.obs.certify`.  Rules
+  RPR101–RPR103; dynamic-dispatch conservatism surfaces as RPR100
+  warnings.
+* :mod:`.races` — **Pass 2**: lock-discipline race detection over the
+  shared singletons (engine cache, solver pool, metrics registry,
+  runtime counters, tracer, query service).  Rules RPR201–RPR204.
+
+:mod:`.checker` drives both (``repro-ddb check`` /
+``python -m repro.analysis.static.checker``) and shares the
+Finding/waiver/baseline machinery of :mod:`repro.analysis.lint`.
+"""
+
+from .callgraph import FALLBACK_MARK, CallGraph, CallSite, FunctionNode
+from .checker import RULES, Report, STATIC_WAIVER_MARK, build_graph, check
+from .complexity import check_complexity, sigma2_allowed
+from .races import check_races
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionNode",
+    "FALLBACK_MARK",
+    "RULES",
+    "Report",
+    "STATIC_WAIVER_MARK",
+    "build_graph",
+    "check",
+    "check_complexity",
+    "check_races",
+    "sigma2_allowed",
+]

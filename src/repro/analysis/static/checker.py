@@ -1,0 +1,224 @@
+"""Driver for ``repro-ddb check`` — the whole-program static certifier.
+
+Builds one :class:`~repro.analysis.static.callgraph.CallGraph` over the
+installed ``repro`` package (plus any extra paths, e.g. ``tests/`` for
+the nightly sweep or a seeded injection fixture), runs both passes —
+complexity reachability (:mod:`.complexity`, rules RPR101–RPR103) and
+lock discipline (:mod:`.races`, rules RPR201–RPR204) — and reports
+through the same Finding/waiver/baseline machinery as the linter.
+
+Waivers use their own mark so a reviewer can distinguish a local
+convention waiver from a whole-program one::
+
+    self._hits += 1  # static: ok RPR202 -- init-only, pre-publication
+
+(the linter's ``# lint: ok`` mark is honored too).  Dynamic-dispatch
+conservatism is reported as RPR100 *warnings* — visible in the JSON
+artifact, never gating.
+
+Run as ``python -m repro.analysis.static.checker [paths...]`` or
+``repro-ddb check``; exit status 1 on any new (non-baselined) finding.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .. import baseline as baseline_mod
+from ..lint import Finding, _WAIVER_MARK, _is_waived, default_target
+from . import complexity, races
+from .callgraph import CallGraph
+
+#: Waiver mark for whole-program findings (``# static: ok RPR201 ...``).
+STATIC_WAIVER_MARK = "# static: ok"
+
+#: Directory of seeded known-bad fixtures — skipped when a *directory*
+#: is swept (the nightly ``check tests/`` must stay clean) but analyzed
+#: fine when a file inside it is passed explicitly (the fixture tests).
+INJECTION_DIR = "static_injections"
+
+#: rule id -> one-line summary (the ``--rules`` catalog).
+RULES: Dict[str, str] = {
+    "RPR100": "dynamic dispatch not statically resolvable (warning)",
+    "RPR101": "coNP entry point must not reach a Σ₂ᵖ primitive",
+    "RPR102": "coNP semantics modules free of Σ₂ᵖ reachability",
+    "RPR103": "no statically nested Σ₂ᵖ dispatch",
+    "RPR201": "attribute written both under and outside its guard lock",
+    "RPR202": "no non-atomic read-modify-write on guarded/singleton state",
+    "RPR203": "no lock-order inversion",
+    "RPR204": "no unguarded shared state escaping into worker threads",
+}
+
+
+@dataclass
+class Report:
+    """One whole-program check run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    warnings: List[Finding] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "findings": [f.as_dict() for f in self.findings],
+            "warnings": [w.as_dict() for w in self.warnings],
+            "count": len(self.findings),
+            "summary": self.summary,
+        }
+
+
+def _expand_extra(paths: Sequence[Path]) -> List[Path]:
+    expanded: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            expanded.extend(
+                sub for sub in sorted(path.rglob("*.py"))
+                if INJECTION_DIR not in sub.parts
+            )
+        else:
+            expanded.append(path)
+    return expanded
+
+
+def build_graph(extra_paths: Sequence[Path] = ()) -> CallGraph:
+    """The package-wide graph (plus extra files/directories)."""
+    return CallGraph.build(
+        package_root=default_target(),
+        package_name="repro",
+        extra_paths=_expand_extra(extra_paths),
+    )
+
+
+def apply_waivers(
+    graph: CallGraph, findings: Sequence[Finding]
+) -> List[Finding]:
+    lines_by_path = {
+        module.path: module.lines for module in graph.modules.values()
+    }
+    kept: List[Finding] = []
+    for finding in findings:
+        lines = lines_by_path.get(finding.path)
+        if lines is not None and _is_waived(
+            finding, lines, marks=(STATIC_WAIVER_MARK, _WAIVER_MARK)
+        ):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def check(
+    extra_paths: Sequence[Path] = (),
+    graph: Optional[CallGraph] = None,
+) -> Report:
+    """Run both passes; findings are waiver-filtered and sorted."""
+    if graph is None:
+        graph = build_graph(extra_paths)
+    findings = complexity.check_complexity(graph)
+    findings += races.check_races(graph)
+    findings = apply_waivers(graph, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    warnings = apply_waivers(graph, graph.warnings)
+    warnings.sort(key=lambda f: (f.path, f.line))
+    return Report(
+        findings=findings,
+        warnings=warnings,
+        summary={
+            "complexity": complexity.summarize(graph),
+            "races": races.summarize(graph),
+        },
+    )
+
+
+def main(argv: Sequence[str] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-ddb check",
+        description="Whole-program static certification: complexity "
+        "reachability (RPR101-RPR103) and lock discipline "
+        "(RPR201-RPR204) over the repro call graph.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="extra files or directories analyzed alongside the repro "
+        "package (e.g. tests/ for the nightly sweep)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI artifact format)",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="list the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--warnings", action="store_true",
+        help="also print RPR100 dynamic-dispatch warnings (text mode)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, metavar="JSON",
+        help="gate on findings NOT in this baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", type=Path, metavar="JSON",
+        help="record the current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="only report findings in files changed vs. git HEAD "
+        "(the graph is still whole-program)",
+    )
+    args = parser.parse_args(argv)
+    if args.rules:
+        for rule_id, summary in sorted(RULES.items()):
+            print(f"{rule_id}  {summary}")
+        return 0
+    report = check(extra_paths=args.paths)
+    findings = report.findings
+    if args.diff:
+        changed = baseline_mod.changed_files()
+        if changed is not None:
+            findings = baseline_mod.restrict_to_changed(findings, changed)
+    if args.write_baseline is not None:
+        baseline_mod.save_baseline(findings, args.write_baseline)
+        print(
+            f"baseline of {len(findings)} finding(s) written to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    gated = findings
+    if args.baseline is not None:
+        gated = baseline_mod.filter_new(
+            findings, baseline_mod.load_baseline(args.baseline)
+        )
+    if args.format == "json":
+        document = report.as_dict()
+        document["findings"] = [f.as_dict() for f in findings]
+        document["count"] = len(findings)
+        if args.baseline is not None:
+            document["new"] = [f.as_dict() for f in gated]
+            document["new_count"] = len(gated)
+        print(json.dumps(document, indent=2, ensure_ascii=False))
+    else:
+        for finding in findings:
+            marker = "" if finding in gated else " [baselined]"
+            print(finding.render() + marker)
+        if args.warnings:
+            for warning in report.warnings:
+                print(warning.render() + " [warning]")
+        print(
+            f"{len(findings)} finding(s) ({len(gated)} new), "
+            f"{len(report.warnings)} warning(s), "
+            f"{len(report.summary['complexity']['sigma2_sites'])} "
+            "Σ₂ᵖ site(s) in graph"
+        )
+    return 1 if gated else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

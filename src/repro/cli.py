@@ -465,7 +465,40 @@ def _cmd_lint(args) -> int:
     argv += ["--format", args.format]
     if args.rules:
         argv.append("--rules")
-    return lint_main(argv)
+    if args.baseline is not None:
+        argv += ["--baseline", str(args.baseline)]
+    if args.diff:
+        argv.append("--diff")
+    status = lint_main(argv)
+    if args.deep and not args.rules:
+        # Fold the whole-program certifier in: worst status wins.  The
+        # deep pass is always whole-program (paths are not forwarded —
+        # the call graph needs the entire package either way).
+        from .analysis.static.checker import main as check_main
+
+        check_argv = ["--format", args.format]
+        if args.baseline is not None:
+            check_argv += ["--baseline", str(args.baseline)]
+        if args.diff:
+            check_argv.append("--diff")
+        status = max(status, check_main(check_argv))
+    return status
+
+
+def _cmd_check(args) -> int:
+    from .analysis.static.checker import main as check_main
+
+    argv = [str(path) for path in args.paths]
+    argv += ["--format", args.format]
+    if args.rules:
+        argv.append("--rules")
+    if args.warnings:
+        argv.append("--warnings")
+    if args.baseline is not None:
+        argv += ["--baseline", str(args.baseline)]
+    if args.diff:
+        argv.append("--diff")
+    return check_main(argv)
 
 
 def _cmd_serve(args) -> int:
@@ -862,7 +895,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", action="store_true",
         help="list the rule catalog and exit",
     )
+    lint_cmd.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program static certifier "
+        "(repro-ddb check) and combine exit status",
+    )
+    lint_cmd.add_argument(
+        "--baseline", metavar="JSON",
+        help="gate on findings NOT in this baseline",
+    )
+    lint_cmd.add_argument(
+        "--diff", action="store_true",
+        help="only report findings in files changed vs. git HEAD",
+    )
     lint_cmd.set_defaults(handler=_cmd_lint)
+
+    check_cmd = commands.add_parser(
+        "check",
+        help=(
+            "whole-program static certification: call-graph complexity "
+            "envelopes (RPR101-RPR103) and lock discipline "
+            "(RPR201-RPR204)"
+        ),
+    )
+    check_cmd.add_argument(
+        "paths", nargs="*",
+        help="extra files or directories analyzed alongside the repro "
+        "package (e.g. tests/ for the nightly sweep)",
+    )
+    check_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    check_cmd.add_argument(
+        "--rules", action="store_true",
+        help="list the rule catalog and exit",
+    )
+    check_cmd.add_argument(
+        "--warnings", action="store_true",
+        help="also print RPR100 dynamic-dispatch warnings",
+    )
+    check_cmd.add_argument(
+        "--baseline", metavar="JSON",
+        help="gate on findings NOT in this baseline",
+    )
+    check_cmd.add_argument(
+        "--diff", action="store_true",
+        help="only report findings in files changed vs. git HEAD",
+    )
+    check_cmd.set_defaults(handler=_cmd_check)
 
     serve_cmd = commands.add_parser(
         "serve",

@@ -207,6 +207,7 @@ class ResilientSemantics(Semantics):
             )
             try:
                 with budget_scope(self.budget) as scope:
+                    # static: fallback-edge -- degraded-mode brute dispatch
                     value = getattr(self.fallback, method)(db, *args)
                     usage = scope.usage()
                 return self._record(Outcome(

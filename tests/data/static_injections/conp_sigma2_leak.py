@@ -1,0 +1,31 @@
+"""Seeded known-bad fixture: a coNP-classified semantics reaching the
+Σ₂ᵖ primitive through two helper hops.
+
+Never imported at runtime — analyzed statically by
+``tests/test_static_check.py``, which asserts the whole-program checker
+reports RPR101 at the ``infers`` definition below (the declared ``pws``
+row forbids Σ₂ᵖ dispatch in every regime, yet
+``infers -> _helper_one -> _helper_two -> find_minimal_satisfying``).
+"""
+
+from repro.sat.minimal import MinimalModelSolver
+from repro.semantics.base import Semantics
+
+
+def _helper_two(db):
+    solver = MinimalModelSolver(db)
+    return solver.find_minimal_satisfying(None)
+
+
+def _helper_one(db):
+    return _helper_two(db)
+
+
+class LeakyPws(Semantics):
+    """Declares the coNP ``pws`` row but dispatches minimal-model
+    search — exactly the transitive leak RPR101 must catch."""
+
+    name = "pws"
+
+    def infers(self, db, formula):
+        return _helper_one(db) is not None

@@ -1,0 +1,27 @@
+"""Seeded known-bad fixture: guarded state escaping into a worker.
+
+``entries`` is guarded by ``self._lock`` in ``add_safe``; ``_drain``
+mutates it unguarded (RPR201) and ``launch`` hands ``_drain`` to a
+thread-pool worker, so the unguarded mutation races every guarded
+critical section from another thread (RPR204 at the ``submit`` call).
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class SharedBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = []
+
+    def add_safe(self, item):
+        with self._lock:
+            self.entries.append(item)
+
+    def _drain(self):
+        self.entries.clear()  # seeded RPR201: unguarded mutation
+
+    def launch(self):
+        pool = ThreadPoolExecutor(max_workers=1)
+        return pool.submit(self._drain)  # seeded RPR204: escape

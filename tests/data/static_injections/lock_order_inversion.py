@@ -1,0 +1,24 @@
+"""Seeded known-bad fixture: two locks acquired in opposite orders.
+
+``forward`` takes ``_a`` then ``_b``; ``backward`` takes ``_b`` then
+``_a`` — a deadlock under contention, reported once as RPR203.
+"""
+
+import threading
+
+
+class TwoLocks:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.items = []
+
+    def forward(self):
+        with self._a:
+            with self._b:  # seeded RPR203: inverted below
+                return list(self.items)
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                self.items.append(1)

@@ -1,0 +1,13 @@
+"""Seeded known-bad fixture: the original PR 9 lost-update pattern.
+
+A ``+=`` on the :data:`repro.runtime.budget.RUNTIME_STATS` facade is a
+locked read followed by a locked write — two critical sections, not
+one — and must be reported as RPR202 (this retires the one-off regex
+scan that used to live in ``tests/test_thread_safety.py``).
+"""
+
+from repro.runtime.budget import RUNTIME_STATS
+
+
+def racy_tick():
+    RUNTIME_STATS.budgets_exceeded += 1  # seeded RPR202: RMW on facade

@@ -1,0 +1,30 @@
+"""Seeded known-bad fixture: mixed guarded/unguarded mutation.
+
+``hits`` and ``misses`` are both written under ``self._lock`` in some
+methods, so the lock is their inferred guard — then ``reset`` writes
+``hits`` unguarded (RPR201) and ``sloppy_bump`` performs a non-atomic
+``+=`` on ``misses`` outside the guard (RPR202, the lost-update shape).
+"""
+
+import threading
+
+
+class LeakyCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def record_hit(self):
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self):
+        with self._lock:
+            self.misses += 1
+
+    def reset(self):
+        self.hits = 0  # seeded RPR201: unguarded write
+
+    def sloppy_bump(self):
+        self.misses += 1  # seeded RPR202: unguarded read-modify-write

@@ -21,9 +21,7 @@ pattern from creeping back.
 from __future__ import annotations
 
 import json
-import re
 import threading
-from pathlib import Path
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -33,8 +31,6 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.runtime.budget import RUNTIME_STATS
 from repro.sat.incremental import SolverPool
-
-SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 
 def run_threads(count, target):
@@ -257,16 +253,35 @@ def test_runtime_stats_inc_rejects_unknown_counter():
         raise AssertionError("inc() accepted an unknown counter name")
 
 
-def test_no_read_modify_write_on_runtime_stats_in_src():
-    """No production call site may use the ``RUNTIME_STATS.x += n``
-    pattern — it is two critical sections, not one, and loses updates
-    under threads.  (Docstrings may mention it; code may not.)"""
-    racy = re.compile(r"^\s*RUNTIME_STATS\.\w+\s*\+=", re.MULTILINE)
-    offenders = []
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        if racy.search(path.read_text(encoding="utf-8")):
-            offenders.append(str(path))
-    assert offenders == []
+def test_runtime_stats_rmw_caught_by_race_detector(tmp_path):
+    """The ``RUNTIME_STATS.x += n`` lost-update pattern (the original
+    PR 9 race, once policed by a regex scan here) is now rule RPR202 of
+    the whole-program race detector: re-injecting the exact pattern
+    into a module must produce a finding at the offending line, and the
+    production tree itself must stay clean (``repro-ddb check`` gates
+    this in CI)."""
+    from repro.analysis.static import checker
+
+    injected = tmp_path / "reinjected_pr9_race.py"
+    injected.write_text(
+        "from repro.runtime.budget import RUNTIME_STATS\n"
+        "\n"
+        "\n"
+        "def tick():\n"
+        "    RUNTIME_STATS.budgets_exceeded += 1\n",
+        encoding="utf-8",
+    )
+    report = checker.check(extra_paths=[injected])
+    hits = [
+        finding for finding in report.findings
+        if finding.rule == "RPR202" and finding.path == str(injected)
+    ]
+    assert [finding.line for finding in hits] == [5]
+    # And the production tree carries no such site anywhere.
+    assert [
+        finding for finding in report.findings
+        if finding.path != str(injected)
+    ] == []
 
 
 # ----------------------------------------------------------------------
